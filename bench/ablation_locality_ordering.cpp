@@ -1,0 +1,74 @@
+/// Ablation — external-memory locality ordering (paper §V-A): when
+/// visitors tie in algorithm priority, ordering them by vertex identifier
+/// improves page-level locality of the CSR stored in NVRAM.  This bench
+/// runs the identical external-memory BFS with the paper's vertex-order
+/// tie-break vs a scrambled tie-break and reports page-cache behaviour.
+#include "bench_common.hpp"
+#include "storage/block_device.hpp"
+#include "storage/page_cache.hpp"
+
+int main() {
+  sfg::bench::banner(
+      "ablation_locality_ordering", "paper §V-A (design choice)",
+      "External-memory BFS, identical except equal-priority visitor "
+      "ordering: vertex order (paper) vs scrambled");
+
+  constexpr int kRanks = 4;
+  sfg::gen::rmat_config cfg{.scale = 13, .edge_factor = 16, .seed = 16};
+
+  sfg::util::table t({"tiebreak", "time_s", "MTEPS", "cache_hits",
+                      "cache_misses", "hit_rate_%", "nand_reads"});
+  for (const auto mode : {sfg::core::order_tiebreak::vertex_locality,
+                          sfg::core::order_tiebreak::scrambled}) {
+    sfg::bench::bfs_measurement m{};
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t reads = 0;
+    sfg::runtime::launch(kRanks, [&](sfg::runtime::comm& c) {
+      sfg::storage::memory_device raw;
+      sfg::storage::sim_nvram_device nvram(
+          raw, {std::chrono::microseconds(60),
+                std::chrono::microseconds(150), 32});
+      sfg::storage::page_cache cache(nvram, {4096, 24});
+      auto g = sfg::graph::build_external_graph(
+          c, sfg::bench::rmat_slice_for(cfg, c.rank(), kRanks),
+          {.num_ghosts = 256}, nvram, cache);
+      cache.reset_stats();
+      sfg::core::queue_config qcfg;
+      qcfg.tiebreak = mode;
+      qcfg.batch_size = 256;  // larger batches let ordering matter
+      auto mm = sfg::bench::measure_bfs(g, sfg::bench::pick_source(g), qcfg);
+      const auto st = cache.stats();
+      const auto h = c.all_reduce(st.hits, std::plus<>());
+      const auto ms = c.all_reduce(st.misses, std::plus<>());
+      const auto rd = c.all_reduce(nvram.stats().reads, std::plus<>());
+      if (c.rank() == 0) {
+        m = mm;
+        hits = h;
+        misses = ms;
+        reads = rd;
+      }
+      c.barrier();
+    });
+    const double rate = hits + misses > 0
+                            ? 100.0 * static_cast<double>(hits) /
+                                  static_cast<double>(hits + misses)
+                            : 0;
+    t.row()
+        .add(mode == sfg::core::order_tiebreak::vertex_locality
+                 ? "vertex (paper)"
+                 : "scrambled")
+        .add(m.seconds, 3)
+        .add(m.teps() / 1e6, 3)
+        .add(hits)
+        .add(misses)
+        .add(rate, 2)
+        .add(reads);
+  }
+  t.print(std::cout);
+  std::cout << "\nShape check vs paper §V-A: vertex-ordered ties touch "
+               "fewer distinct CSR pages per batch, so the cache hit rate "
+               "is higher and NAND reads fewer than with scrambled "
+               "ordering.\n";
+  return 0;
+}

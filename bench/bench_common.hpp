@@ -1,0 +1,147 @@
+/// \file bench_common.hpp
+/// Shared plumbing for the figure/table reproduction benches.
+///
+/// Scale note (DESIGN.md §2): the paper ran on BG/P (131K cores) and
+/// NVRAM clusters at 10^9..10^12 edges; this repo runs p in-process ranks
+/// on one machine at ~10^5..10^7 edges.  Wall-clock TEPS therefore cannot
+/// match the paper's absolute numbers; every bench also reports
+/// *bottleneck-rank work* (max per-rank delivered visitors), which is the
+/// machine-independent quantity behind the paper's scaling shapes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <vector>
+
+#include "core/bfs.hpp"
+#include "gen/generators.hpp"
+#include "graph/distributed_graph.hpp"
+#include "runtime/runtime.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace sfg::bench {
+
+/// One BFS run's aggregate measurements.
+struct bfs_measurement {
+  double seconds = 0;
+  std::uint64_t reached = 0;
+  std::uint64_t traversed_edges = 0;  ///< undirected convention (|E|/2 form)
+  std::uint64_t max_rank_delivered = 0;  ///< bottleneck-rank visitor load
+  std::uint64_t total_delivered = 0;
+  std::uint64_t ghost_filtered = 0;
+
+  [[nodiscard]] double teps() const {
+    return seconds > 0 ? static_cast<double>(traversed_edges) / seconds : 0;
+  }
+};
+
+/// Run BFS over an already-built graph and aggregate the measurement on
+/// every rank (identical values).
+template <typename Graph>
+bfs_measurement measure_bfs(Graph& g, graph::vertex_locator source,
+                            const core::queue_config& qcfg) {
+  util::timer t;
+  auto bfs = core::run_bfs(g, source, qcfg);
+  bfs_measurement m;
+  m.seconds = t.elapsed_s();
+
+  std::uint64_t local_reached = 0;
+  std::uint64_t local_edges = 0;
+  for (std::size_t s = 0; s < g.num_slots(); ++s) {
+    if (g.is_master(s) && bfs.state.local(s).reached()) {
+      ++local_reached;
+      local_edges += g.degree_of(s);
+    }
+  }
+  auto& c = g.comm();
+  m.reached = c.all_reduce(local_reached, std::plus<>());
+  m.traversed_edges = c.all_reduce(local_edges, std::plus<>()) / 2;
+  m.max_rank_delivered =
+      c.all_reduce(bfs.stats.visitors_delivered,
+                   [](std::uint64_t a, std::uint64_t b) { return a > b ? a : b; });
+  m.total_delivered =
+      c.all_reduce(bfs.stats.visitors_delivered, std::plus<>());
+  m.ghost_filtered = c.all_reduce(bfs.stats.ghost_filtered, std::plus<>());
+  return m;
+}
+
+/// Deterministically pick a BFS source that is guaranteed to exist and
+/// have edges: the globally maximum-degree vertex (ties to the smallest
+/// locator).  Collective.
+template <typename Graph>
+graph::vertex_locator pick_source(Graph& g) {
+  struct cand {
+    std::uint64_t degree;
+    std::uint64_t inv_bits;  // ~bits so larger == smaller locator
+  };
+  cand best{0, 0};
+  for (std::size_t s = 0; s < g.num_slots(); ++s) {
+    if (!g.is_master(s)) continue;
+    const cand c{g.degree_of(s), ~g.locator_of(s).bits()};
+    if (c.degree > best.degree ||
+        (c.degree == best.degree && c.inv_bits > best.inv_bits)) {
+      best = c;
+    }
+  }
+  const auto winner = g.comm().all_reduce(best, [](cand a, cand b) {
+    if (a.degree != b.degree) return a.degree > b.degree ? a : b;
+    return a.inv_bits > b.inv_bits ? a : b;
+  });
+  return graph::vertex_locator::from_bits(~winner.inv_bits);
+}
+
+/// As pick_source(), but returns the hub's *global id* — needed when two
+/// differently-partitioned graphs over the same edge list must agree on
+/// the source (fig12).
+template <typename Graph>
+std::uint64_t pick_hub_gid(Graph& g) {
+  struct cand {
+    std::uint64_t degree;
+    std::uint64_t inv_gid;
+  };
+  cand best{0, 0};
+  for (std::size_t s = 0; s < g.num_slots(); ++s) {
+    if (!g.is_master(s) || g.degree_of(s) == 0) continue;
+    const cand c{g.degree_of(s), ~g.global_id_of(s)};
+    if (c.degree > best.degree ||
+        (c.degree == best.degree && c.inv_gid > best.inv_gid)) {
+      best = c;
+    }
+  }
+  const auto winner = g.comm().all_reduce(best, [](cand a, cand b) {
+    if (a.degree != b.degree) return a.degree > b.degree ? a : b;
+    return a.inv_gid > b.inv_gid ? a : b;
+  });
+  return ~winner.inv_gid;
+}
+
+/// Generate this rank's RMAT slice.
+inline std::vector<gen::edge64> rmat_slice_for(const gen::rmat_config& cfg,
+                                               int rank, int p) {
+  const auto r = gen::slice_for_rank(cfg.num_edges(), rank, p);
+  return gen::rmat_slice(cfg, r.begin, r.end);
+}
+
+inline std::vector<gen::edge64> sw_slice_for(const gen::sw_config& cfg,
+                                             int rank, int p) {
+  const auto r = gen::slice_for_rank(cfg.num_edges(), rank, p);
+  return gen::sw_slice(cfg, r.begin, r.end);
+}
+
+inline std::vector<gen::edge64> pa_slice_for(const gen::pa_config& cfg,
+                                             int rank, int p) {
+  const auto r = gen::slice_for_rank(cfg.num_edges(), rank, p);
+  return gen::pa_slice(cfg, r.begin, r.end);
+}
+
+/// Print the standard bench banner.
+inline void banner(const char* id, const char* paper_ref,
+                   const char* description) {
+  std::cout << "=== " << id << " — " << paper_ref << " ===\n"
+            << description << "\n\n";
+}
+
+}  // namespace sfg::bench

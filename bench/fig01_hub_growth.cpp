@@ -1,0 +1,50 @@
+/// Figure 1 — Hub growth for Graph500 (RMAT) graphs.
+///
+/// Paper: as scale grows (2^27..2^33 vertices, avg degree 16), the count
+/// of edges belonging to the max-degree hub and to vertices with
+/// deg >= 1,000 / >= 10,000 keeps growing; at 2^30 vertices the max hub
+/// passes 10M edges.  Here (scale 12..18) we report max degree and the
+/// edge mass above two degree thresholds scaled to our sizes (64, 256):
+/// the same superlinear hub growth, shifted to laptop scale.
+#include "bench_common.hpp"
+
+int main() {
+  sfg::bench::banner("fig01_hub_growth", "paper Figure 1",
+                     "Edge mass in hubs vs RMAT scale (avg degree 16)");
+
+  sfg::util::table t({"scale", "vertices", "edges", "max_degree",
+                      "edges@deg>=64", "edges@deg>=256",
+                      "max_hub_share_%"});
+  for (unsigned scale = 12; scale <= 18; ++scale) {
+    sfg::gen::rmat_config cfg{.scale = scale, .edge_factor = 16, .seed = 1};
+    const auto edges = sfg::gen::rmat_slice(cfg, 0, cfg.num_edges());
+    // Undirected degree counting (both endpoints), like the paper.
+    std::vector<std::uint64_t> degree(cfg.num_vertices(), 0);
+    for (const auto& e : edges) {
+      ++degree[e.src];
+      ++degree[e.dst];
+    }
+    std::uint64_t max_deg = 0;
+    std::uint64_t mass64 = 0;
+    std::uint64_t mass256 = 0;
+    for (const auto d : degree) {
+      max_deg = std::max(max_deg, d);
+      if (d >= 64) mass64 += d;
+      if (d >= 256) mass256 += d;
+    }
+    t.row()
+        .add(static_cast<std::uint64_t>(scale))
+        .add(cfg.num_vertices())
+        .add(cfg.num_edges())
+        .add(max_deg)
+        .add(mass64)
+        .add(mass256)
+        .add(100.0 * static_cast<double>(max_deg) /
+                 (2.0 * static_cast<double>(cfg.num_edges())),
+             3);
+  }
+  t.print(std::cout);
+  std::cout << "\nShape check vs paper: max_degree and hub edge mass grow "
+               "superlinearly with scale while average degree stays 16.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+/// Figure 6 — Weak scaling of k-th core on RMAT graphs (paper: BG/P up to
+/// 4096 cores, 2^18 vertices + 2^22 undirected edges per core; time to
+/// compute cores 4, 16, 64; near-linear weak scaling).
+///
+/// Here: 2^10 vertices + 2^14 undirected edges per rank, p = 1..8; same
+/// three k values; the shape quantity is per-rank visitor load staying
+/// flat as p grows.
+#include "bench_common.hpp"
+#include "core/kcore.hpp"
+
+int main() {
+  sfg::bench::banner(
+      "fig06_kcore_weak_scaling", "paper Figure 6",
+      "Weak scaling of k-core on RMAT; 2^10 vertices per rank; k = 4,16,64");
+
+  sfg::util::table t({"p", "scale", "k", "core_size", "time_s",
+                      "delivered/rank", "max_rank_delivered"});
+  for (const int p : {1, 2, 4, 8}) {
+    const unsigned scale =
+        10 + sfg::util::log2_floor(static_cast<std::uint64_t>(p));
+    sfg::gen::rmat_config cfg{.scale = scale, .edge_factor = 16, .seed = 6};
+    for (const std::uint32_t k : {4u, 16u, 64u}) {
+      double seconds = 0;
+      std::uint64_t core_size = 0;
+      std::uint64_t delivered = 0;
+      std::uint64_t max_delivered = 0;
+      sfg::runtime::launch(p, [&](sfg::runtime::comm& c) {
+        auto g = sfg::graph::build_in_memory_graph(
+            c, sfg::bench::rmat_slice_for(cfg, c.rank(), p), {});
+        sfg::util::timer timer;
+        auto result = sfg::core::run_kcore(g, k, {});
+        const double secs = timer.elapsed_s();
+        const auto total = c.all_reduce(result.stats.visitors_delivered,
+                                        std::plus<>());
+        const auto mx = c.all_reduce(
+            result.stats.visitors_delivered,
+            [](std::uint64_t a, std::uint64_t b) { return a > b ? a : b; });
+        if (c.rank() == 0) {
+          seconds = secs;
+          core_size = result.core_size;
+          delivered = total / static_cast<std::uint64_t>(p);
+          max_delivered = mx;
+        }
+        c.barrier();
+      });
+      t.row()
+          .add(p)
+          .add(static_cast<std::uint64_t>(scale))
+          .add(static_cast<std::uint64_t>(k))
+          .add(core_size)
+          .add(seconds, 3)
+          .add(delivered)
+          .add(max_delivered);
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nShape check vs paper: per-rank delivered visitors stay "
+               "near-flat under weak scaling for each k (near-linear weak "
+               "scaling); larger k peels more of the scale-free graph and "
+               "costs more cascade visitors.\n";
+  return 0;
+}

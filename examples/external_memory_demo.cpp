@@ -1,0 +1,105 @@
+/// \file external_memory_demo.cpp
+/// The paper's headline capability (§VII-C): traverse a graph far larger
+/// than DRAM by keeping the CSR edge array on node-local NVRAM behind the
+/// user-space page cache.  This demo builds the same RMAT graph twice —
+/// once fully in DRAM, once on a simulated NAND-flash device with a DRAM
+/// page-cache budget of a small fraction of the edge data — runs BFS on
+/// both, verifies they agree, and reports the slowdown and cache
+/// behaviour (compare with paper Figure 9's 39% at 32x).
+///
+/// Usage: external_memory_demo [scale] [num_ranks] [cache_frames]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/bfs.hpp"
+#include "gen/generators.hpp"
+#include "graph/distributed_graph.hpp"
+#include "runtime/runtime.hpp"
+#include "storage/block_device.hpp"
+#include "storage/page_cache.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  const unsigned scale = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 13;
+  const int num_ranks = argc > 2 ? std::atoi(argv[2]) : 4;
+  const std::size_t frames =
+      argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 64;
+  constexpr std::size_t kPageSize = 4096;
+
+  sfg::gen::rmat_config rmat{.scale = scale, .edge_factor = 16, .seed = 11};
+  std::cout << "RMAT scale " << scale << " on " << num_ranks
+            << " ranks; NVRAM page cache: " << frames << " frames x "
+            << kPageSize << " B = " << frames * kPageSize / 1024
+            << " KiB DRAM per rank\n";
+
+  double dram_s = 0;
+  double nvram_s = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t edge_bytes = 0;
+  bool agree = true;
+
+  sfg::runtime::launch(num_ranks, [&](sfg::runtime::comm& comm) {
+    const auto range =
+        sfg::gen::slice_for_rank(rmat.num_edges(), comm.rank(), comm.size());
+    const auto edges = sfg::gen::rmat_slice(rmat, range.begin, range.end);
+
+    // DRAM-only baseline.
+    auto dram_graph = sfg::graph::build_in_memory_graph(comm, edges,
+                                                        {.num_ghosts = 128});
+    const auto source = dram_graph.locate(0);
+    sfg::util::timer t;
+    auto dram_bfs = sfg::core::run_bfs(dram_graph, source, {});
+    if (comm.rank() == 0) dram_s = t.elapsed_s();
+
+    // External: same edges on simulated NAND flash.
+    sfg::storage::memory_device raw;
+    sfg::storage::sim_nvram_device nvram(
+        raw, {std::chrono::microseconds(60), std::chrono::microseconds(150),
+              32});
+    sfg::storage::page_cache cache(nvram, {kPageSize, frames});
+    auto em_graph = sfg::graph::build_external_graph(
+        comm, edges, {.num_ghosts = 128}, nvram, cache);
+    const auto em_source = em_graph.locate(0);
+    cache.reset_stats();
+    t.reset();
+    auto em_bfs = sfg::core::run_bfs(em_graph, em_source, {});
+    if (comm.rank() == 0) {
+      nvram_s = t.elapsed_s();
+      hits = cache.stats().hits;
+      misses = cache.stats().misses;
+      edge_bytes = em_graph.total_edges() / static_cast<std::uint64_t>(
+                       comm.size()) * sizeof(std::uint64_t);
+    }
+
+    // The two traversals must produce identical levels.
+    bool local_agree = true;
+    for (std::size_t s = 0; s < dram_graph.num_slots(); ++s) {
+      if (dram_bfs.state.local(s).level != em_bfs.state.local(s).level) {
+        local_agree = false;
+      }
+    }
+    agree = comm.all_reduce(local_agree ? 1 : 0,
+                            [](int a, int b) { return a & b; }) == 1;
+  });
+
+  sfg::util::table t({"config", "BFS time_s", "slowdown"});
+  t.row().add("DRAM").add(dram_s, 3).add(1.0, 2);
+  t.row().add("NVRAM+cache").add(nvram_s, 3).add(
+      dram_s > 0 ? nvram_s / dram_s : 0.0, 2);
+  t.print(std::cout);
+  const double hit_rate =
+      hits + misses > 0
+          ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+          : 0;
+  std::cout << "rank-0 page cache: " << hits << " hits, " << misses
+            << " misses (hit rate " << hit_rate * 100 << "%)\n"
+            << "edge data per rank: ~" << edge_bytes / 1024
+            << " KiB vs cache budget "
+            << frames * kPageSize / 1024 << " KiB\n"
+            << (agree ? "DRAM and NVRAM traversals AGREE"
+                      : "MISMATCH between DRAM and NVRAM traversals!")
+            << "\n";
+  return agree ? 0 : 1;
+}

@@ -1,0 +1,115 @@
+/// \file analytics.hpp
+/// Distributed graph analytics built from collectives over the partition
+/// metadata — the quick-look measurements the paper's figures are made
+/// of: degree distributions (Figure 1's hub-growth data), top-k hubs,
+/// and summary statistics of the partition itself.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "graph/distributed_graph.hpp"
+#include "util/bits.hpp"
+#include "util/stats.hpp"
+
+namespace sfg::core {
+
+/// Global log2 degree histogram over master vertices (collective).
+template <typename Graph>
+util::log2_histogram degree_histogram(Graph& g) {
+  // Local bucket counts, reduced bucket-by-bucket.
+  constexpr std::size_t kBuckets = 64;
+  std::vector<std::uint64_t> local(kBuckets, 0);
+  for (std::size_t s = 0; s < g.num_slots(); ++s) {
+    if (!g.is_master(s)) continue;
+    const std::uint64_t d = g.degree_of(s);
+    const std::size_t b = d < 2 ? 0 : util::log2_floor(d);
+    ++local[b];
+  }
+  const auto total = g.comm().all_gatherv(
+      std::span<const std::uint64_t>(local), nullptr);
+  util::log2_histogram h;
+  for (int r = 0; r < g.size(); ++r) {
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      const auto count = total[static_cast<std::size_t>(r) * kBuckets + b];
+      if (count > 0) {
+        // Re-add a representative value for the bucket with its weight.
+        h.add(b == 0 ? 0 : (std::uint64_t{1} << b), count);
+      }
+    }
+  }
+  return h;
+}
+
+struct hub_info {
+  std::uint64_t global_id = 0;
+  std::uint64_t degree = 0;
+};
+
+/// The k highest-degree vertices of the graph, descending (collective).
+template <typename Graph>
+std::vector<hub_info> top_k_hubs(Graph& g, std::size_t k) {
+  struct kv {
+    std::uint64_t degree;
+    std::uint64_t gid;
+  };
+  std::vector<kv> mine;
+  for (std::size_t s = 0; s < g.num_slots(); ++s) {
+    if (g.is_master(s)) mine.push_back({g.degree_of(s), g.global_id_of(s)});
+  }
+  std::sort(mine.begin(), mine.end(), [](const kv& a, const kv& b) {
+    return a.degree != b.degree ? a.degree > b.degree : a.gid < b.gid;
+  });
+  if (mine.size() > k) mine.resize(k);
+  const auto all = g.comm().all_gatherv(std::span<const kv>(mine), nullptr);
+  std::vector<kv> merged(all.begin(), all.end());
+  std::sort(merged.begin(), merged.end(), [](const kv& a, const kv& b) {
+    return a.degree != b.degree ? a.degree > b.degree : a.gid < b.gid;
+  });
+  if (merged.size() > k) merged.resize(k);
+  std::vector<hub_info> out;
+  out.reserve(merged.size());
+  for (const auto& e : merged) out.push_back({e.gid, e.degree});
+  return out;
+}
+
+/// Edge mass held by vertices with degree >= threshold — Figure 1's
+/// y-axis quantity (collective).
+template <typename Graph>
+std::uint64_t hub_edge_mass(Graph& g, std::uint64_t degree_threshold) {
+  std::uint64_t local = 0;
+  for (std::size_t s = 0; s < g.num_slots(); ++s) {
+    if (g.is_master(s) && g.degree_of(s) >= degree_threshold) {
+      local += g.degree_of(s);
+    }
+  }
+  return g.comm().all_reduce(local, std::plus<>());
+}
+
+struct partition_report {
+  std::uint64_t local_edges = 0;
+  std::uint64_t local_slots = 0;
+  std::uint64_t replica_slots = 0;
+  std::uint64_t ghost_slots = 0;
+  double edge_imbalance = 1.0;  ///< max/mean over ranks
+  std::uint64_t split_vertices = 0;
+};
+
+/// Summary of how well the partitioning worked out (collective).
+template <typename Graph>
+partition_report partition_summary(Graph& g) {
+  partition_report r;
+  r.local_slots = g.num_slots();
+  r.ghost_slots = g.num_ghosts();
+  for (std::size_t s = 0; s < g.num_slots(); ++s) {
+    if (!g.is_master(s)) ++r.replica_slots;
+    r.local_edges += g.local_out_degree(s);
+  }
+  const auto counts = g.comm().all_gather(r.local_edges);
+  r.edge_imbalance = util::imbalance(counts);
+  r.split_vertices = g.split_table().size();
+  return r;
+}
+
+}  // namespace sfg::core

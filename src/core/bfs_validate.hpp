@@ -1,0 +1,113 @@
+/// \file bfs_validate.hpp
+/// Distributed BFS tree validation, in the spirit of the Graph500
+/// validation kernels the paper's benchmark runs require:
+///   (a) the source has level 0 and is its own parent;
+///   (b) every reached non-source vertex has a valid parent whose level
+///       is exactly one less;
+///   (c) the tree edge (parent, child) exists in the graph.
+///
+/// Checks (b) and (c) are distributed: each reached vertex sends one
+/// validation visitor to its parent.  The level check runs at the
+/// parent's master; the edge check succeeds at whichever replica slice of
+/// the parent's adjacency contains the child (exactly one, for a simple
+/// graph), counted and compared against the number of reached non-source
+/// vertices at the end.
+#pragma once
+
+#include <cstdint>
+
+#include "core/bfs.hpp"
+#include "core/visitor_queue.hpp"
+
+namespace sfg::core {
+
+struct bfs_validate_state {
+  std::uint64_t level = 0;  ///< copied from the BFS result
+  std::uint64_t edges_found = 0;
+  std::uint64_t level_violations = 0;
+};
+
+struct bfs_validate_visitor {
+  graph::vertex_locator vertex;  ///< the parent being checked
+  graph::vertex_locator child;
+  std::uint64_t child_level = 0;
+
+  static constexpr bool uses_ghosts = false;
+
+  bool pre_visit(bfs_validate_state&) const { return true; }
+
+  template <typename Graph, typename State, typename VQ>
+  void visit(const Graph& g, std::size_t slot, State& state, VQ&) const {
+    auto& s = state.local(slot);
+    if (g.is_master(slot)) {
+      if (s.level + 1 != child_level) ++s.level_violations;
+    }
+    if (g.has_local_out_edge(slot, child)) ++s.edges_found;
+  }
+
+  bool operator<(const bfs_validate_visitor&) const { return false; }
+};
+
+struct bfs_validation_result {
+  bool valid = false;
+  std::uint64_t reached = 0;
+  std::uint64_t tree_edges_found = 0;
+  std::uint64_t tree_edges_expected = 0;
+  std::uint64_t level_violations = 0;
+  std::uint64_t structural_violations = 0;  ///< bad source/parent fields
+};
+
+/// Collective: validate `bfs` (the result of run_bfs over `g` from
+/// `source`).
+template <typename Graph>
+bfs_validation_result validate_bfs(
+    Graph& g, graph::vertex_locator source,
+    const graph::vertex_state<bfs_state>& bfs,
+    const queue_config& cfg = {}) {
+  auto state = g.template make_state<bfs_validate_state>({});
+  std::uint64_t structural = 0;
+  std::uint64_t reached_nonsource = 0;
+  for (std::size_t s = 0; s < g.num_slots(); ++s) {
+    state.local(s).level = bfs.local(s).level;
+    if (!g.is_master(s)) continue;
+    const auto& b = bfs.local(s);
+    if (g.locator_of(s) == source) {
+      if (b.level != 0 || b.parent() != source) ++structural;
+      continue;
+    }
+    if (!b.reached()) continue;
+    ++reached_nonsource;
+    if (!b.parent().valid() || b.level == 0) ++structural;
+  }
+
+  visitor_queue<Graph, bfs_validate_visitor, decltype(state)> vq(g, state,
+                                                                 cfg);
+  for (std::size_t s = 0; s < g.num_slots(); ++s) {
+    if (!g.is_master(s)) continue;
+    const auto& b = bfs.local(s);
+    if (!b.reached() || g.locator_of(s) == source || !b.parent().valid()) {
+      continue;
+    }
+    vq.push(bfs_validate_visitor{b.parent(), g.locator_of(s), b.level});
+  }
+  vq.do_traversal();
+
+  std::uint64_t found = 0;
+  std::uint64_t violations = 0;
+  for (std::size_t s = 0; s < g.num_slots(); ++s) {
+    found += state.local(s).edges_found;
+    if (g.is_master(s)) violations += state.local(s).level_violations;
+  }
+  auto& c = g.comm();
+  bfs_validation_result r;
+  r.tree_edges_found = c.all_reduce(found, std::plus<>());
+  r.tree_edges_expected = c.all_reduce(reached_nonsource, std::plus<>());
+  r.level_violations = c.all_reduce(violations, std::plus<>());
+  r.structural_violations = c.all_reduce(structural, std::plus<>());
+  r.reached = r.tree_edges_expected + 1;  // + source
+  r.valid = r.level_violations == 0 && r.structural_violations == 0 &&
+            r.tree_edges_found == r.tree_edges_expected;
+  return r;
+}
+
+}  // namespace sfg::core

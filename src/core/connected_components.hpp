@@ -1,0 +1,89 @@
+/// \file connected_components.hpp
+/// Asynchronous connected components by minimum-label propagation — the
+/// third algorithm of the authors' prior work (paper §IV-A), expressed as
+/// a visitor.
+///
+/// Every vertex starts labeled with its own locator; a visitor carrying a
+/// smaller label wins in pre_visit and propagates onward.  At quiescence
+/// each vertex holds the minimum locator of its (weakly, if directed;
+/// use undirected graphs for true components) connected component.
+/// Monotone minimum — ghosts may filter.
+#pragma once
+
+#include <cstdint>
+
+#include "core/visitor_queue.hpp"
+#include "graph/vertex_locator.hpp"
+#include "graph/vertex_state.hpp"
+
+namespace sfg::core {
+
+struct cc_state {
+  std::uint64_t label_bits = graph::vertex_locator::invalid().bits();
+
+  [[nodiscard]] graph::vertex_locator label() const noexcept {
+    return graph::vertex_locator::from_bits(label_bits);
+  }
+};
+
+struct cc_visitor {
+  graph::vertex_locator vertex;
+  std::uint64_t label_bits = graph::vertex_locator::invalid().bits();
+
+  static constexpr bool uses_ghosts = true;
+
+  bool pre_visit(cc_state& data) const {
+    if (label_bits < data.label_bits) {
+      data.label_bits = label_bits;
+      return true;
+    }
+    return false;
+  }
+
+  template <typename Graph, typename State, typename VQ>
+  void visit(const Graph& g, std::size_t slot, State& state, VQ& vq) const {
+    if (label_bits != state.local(slot).label_bits) return;  // superseded
+    g.for_each_out_edge(slot, [&](graph::vertex_locator t) {
+      vq.push(cc_visitor{t, label_bits});
+    });
+  }
+
+  /// Prefer smaller labels first: they are the ones that survive.
+  bool operator<(const cc_visitor& other) const {
+    return label_bits < other.label_bits;
+  }
+};
+
+template <typename Graph>
+struct cc_result {
+  graph::vertex_state<cc_state> state;
+  std::uint64_t num_components = 0;
+  traversal_stats stats;
+};
+
+/// Collective connected components of an undirected graph.
+template <typename Graph>
+cc_result<Graph> run_connected_components(Graph& g,
+                                          const queue_config& cfg = {}) {
+  auto state = g.template make_state<cc_state>(cc_state{});
+  visitor_queue<Graph, cc_visitor, decltype(state)> vq(g, state, cfg);
+  for (std::size_t s = 0; s < g.num_slots(); ++s) {
+    if (g.is_master(s)) {
+      vq.push(cc_visitor{g.locator_of(s), g.locator_of(s).bits()});
+    }
+  }
+  vq.do_traversal();
+
+  // A component's representative is the vertex labeled with itself.
+  std::uint64_t local_roots = 0;
+  for (std::size_t s = 0; s < g.num_slots(); ++s) {
+    if (g.is_master(s) &&
+        state.local(s).label_bits == g.locator_of(s).bits()) {
+      ++local_roots;
+    }
+  }
+  const auto components = g.comm().all_reduce(local_roots, std::plus<>());
+  return {std::move(state), components, vq.stats()};
+}
+
+}  // namespace sfg::core

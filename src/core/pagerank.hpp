@@ -1,0 +1,144 @@
+/// \file pagerank.hpp
+/// Asynchronous PageRank by residual pushing (Gauss–Seidel push) — an
+/// extension demonstrating a *two-phase* visitor on the paper's queue.
+///
+/// Fixpoint (unnormalized, dangling mass dropped):
+///     p(v) = (1 - d) + d * Σ_{u -> v} p(u) / deg(u)
+/// Push scheme: every vertex holds a residual r(v), seeded with (1 - d).
+/// When r(v) exceeds eps the vertex is scheduled; its visit drains x =
+/// r(v) into p(v) and pushes d * x / deg(v) to every out-neighbor.
+/// Residuals below eps are simply left in place, bounding the truncation
+/// error by eps / (1 - d) per vertex.
+///
+/// Split vertices need care: residuals accumulate only at the *master*
+/// (visitors enter there, Algorithm 1), but spreading must cover every
+/// replica's adjacency slice.  The visitor therefore has two modes:
+///   accumulate — adds its delta to the master's residual; returns true
+///                (and is thus chain-forwarded) only when the vertex
+///                crosses eps and is not already scheduled.  Replicas
+///                swallow the forwarded copy (their residual is not
+///                meaningful); scheduling is re-triggered by spread.
+///   spread     — carries the per-edge delta of a drain; pre_visit is
+///                always true, so Algorithm 1 forwards it down the whole
+///                replica chain and every slice pushes to its neighbors.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "core/visitor_queue.hpp"
+#include "graph/vertex_locator.hpp"
+#include "graph/vertex_state.hpp"
+
+namespace sfg::core {
+
+struct pagerank_state {
+  double rank = 0.0;      ///< drained (converged) mass
+  double residual = 0.0;  ///< pending mass
+  bool scheduled = false;
+  bool is_replica = false;
+};
+
+struct pagerank_visitor {
+  enum class mode : std::uint8_t { accumulate, spread };
+
+  graph::vertex_locator vertex;
+  double delta = 0.0;  ///< accumulate: mass; spread: per-out-edge mass
+  mode kind = mode::accumulate;
+  double eps = 1e-6;
+  double damping = 0.85;
+
+  static constexpr bool uses_ghosts = false;  // exact mass accounting
+
+  bool pre_visit(pagerank_state& s) const {
+    if (kind == mode::spread) return true;  // ride the replica chain
+    if (s.is_replica) return false;  // chain-forwarded accumulate: no mass
+    s.residual += delta;
+    if (!s.scheduled && s.residual > eps) {
+      s.scheduled = true;
+      return true;
+    }
+    return false;
+  }
+
+  template <typename Graph, typename State, typename VQ>
+  void visit(const Graph& g, std::size_t slot, State& state, VQ& vq) const {
+    auto& s = state.local(slot);
+    if (kind == mode::accumulate) {
+      // Drain at the master, then fan the per-edge delta out as a spread
+      // visitor so every slice of a split vertex participates.
+      if (s.is_replica) return;  // only the master drains
+      const double x = s.residual;
+      s.residual = 0.0;
+      s.scheduled = false;
+      s.rank += x;
+      const auto deg = g.degree_of(slot);
+      if (deg == 0 || x <= 0.0) return;  // dangling: mass retires
+      pagerank_visitor sp;
+      sp.vertex = vertex;
+      sp.delta = damping * x / static_cast<double>(deg);
+      sp.kind = mode::spread;
+      sp.eps = eps;
+      sp.damping = damping;
+      vq.push(sp);
+    } else {
+      // Spread over this rank's slice of the adjacency list.
+      g.for_each_out_edge(slot, [&](graph::vertex_locator t) {
+        pagerank_visitor acc;
+        acc.vertex = t;
+        acc.delta = delta;
+        acc.kind = mode::accumulate;
+        acc.eps = eps;
+        acc.damping = damping;
+        vq.push(acc);
+      });
+    }
+  }
+
+  /// Drain larger residual-crossers first (more mass settles sooner);
+  /// spread visitors are not ordered.
+  bool operator<(const pagerank_visitor& other) const {
+    return delta > other.delta;
+  }
+};
+
+template <typename Graph>
+struct pagerank_result {
+  graph::vertex_state<pagerank_state> state;
+  double total_mass = 0.0;  ///< Σ rank: approaches V at convergence
+  traversal_stats stats;
+};
+
+/// Collective asynchronous PageRank.  `eps` bounds the per-vertex
+/// residual left untruncated; smaller = more accurate, more visitors.
+template <typename Graph>
+pagerank_result<Graph> run_pagerank(Graph& g, double damping = 0.85,
+                                    double eps = 1e-6,
+                                    const queue_config& cfg = {}) {
+  auto state = g.template make_state<pagerank_state>(pagerank_state{});
+  for (std::size_t s = 0; s < g.num_slots(); ++s) {
+    state.local(s).is_replica = !g.is_master(s);
+  }
+  visitor_queue<Graph, pagerank_visitor, decltype(state)> vq(g, state, cfg);
+  // Seed: every master receives its teleport mass (1 - d) as a visitor,
+  // which also performs the initial scheduling.
+  for (std::size_t s = 0; s < g.num_slots(); ++s) {
+    if (!g.is_master(s)) continue;
+    pagerank_visitor seed;
+    seed.vertex = g.locator_of(s);
+    seed.delta = 1.0 - damping;
+    seed.eps = eps;
+    seed.damping = damping;
+    vq.push(seed);
+  }
+  vq.do_traversal();
+
+  double local_mass = 0;
+  for (std::size_t s = 0; s < g.num_slots(); ++s) {
+    if (g.is_master(s)) local_mass += state.local(s).rank;
+  }
+  const double total = g.comm().all_reduce(local_mass, std::plus<>());
+  return {std::move(state), total, vq.stats()};
+}
+
+}  // namespace sfg::core

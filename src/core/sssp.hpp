@@ -1,0 +1,81 @@
+/// \file sssp.hpp
+/// Asynchronous Single-Source Shortest Path (label-correcting) — the
+/// companion algorithm from the authors' prior multithreaded work
+/// (paper §IV-A) expressed in this framework as an extension.
+///
+/// Identical structure to BFS with weighted relaxations: pre_visit admits
+/// strictly shorter tentative distances; visit relaxes the local slice's
+/// out-edges; the min-heap orders visitors by distance, so execution
+/// approximates Dijkstra order and wasted relaxations stay low.  Monotone
+/// like BFS, so ghosts may filter.  Requires make_weights at build time.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "core/visitor_queue.hpp"
+#include "graph/vertex_locator.hpp"
+#include "graph/vertex_state.hpp"
+
+namespace sfg::core {
+
+struct sssp_state {
+  std::uint64_t distance = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t parent_bits = graph::vertex_locator::invalid().bits();
+
+  [[nodiscard]] bool reached() const noexcept {
+    return distance != std::numeric_limits<std::uint64_t>::max();
+  }
+};
+
+struct sssp_visitor {
+  graph::vertex_locator vertex;
+  std::uint64_t distance = 0;
+  std::uint64_t parent_bits = graph::vertex_locator::invalid().bits();
+
+  static constexpr bool uses_ghosts = true;
+
+  bool pre_visit(sssp_state& data) const {
+    if (distance < data.distance) {
+      data.distance = distance;
+      data.parent_bits = parent_bits;
+      return true;
+    }
+    return false;
+  }
+
+  template <typename Graph, typename State, typename VQ>
+  void visit(const Graph& g, std::size_t slot, State& state, VQ& vq) const {
+    if (distance != state.local(slot).distance) return;  // superseded
+    g.for_each_out_edge_weighted(
+        slot, [&](graph::vertex_locator t, std::uint32_t w) {
+          vq.push(sssp_visitor{t, distance + w, vertex.bits()});
+        });
+  }
+
+  /// Dijkstra-ish: closest first.
+  bool operator<(const sssp_visitor& other) const {
+    return distance < other.distance;
+  }
+};
+
+template <typename Graph>
+struct sssp_result {
+  graph::vertex_state<sssp_state> state;
+  traversal_stats stats;
+};
+
+/// Collective SSSP from `source`; graph must be built with make_weights.
+template <typename Graph>
+sssp_result<Graph> run_sssp(Graph& g, graph::vertex_locator source,
+                            const queue_config& cfg = {}) {
+  auto state = g.template make_state<sssp_state>(sssp_state{});
+  visitor_queue<Graph, sssp_visitor, decltype(state)> vq(g, state, cfg);
+  if (g.rank() == source.owner()) {
+    vq.push(sssp_visitor{source, 0, source.bits()});
+  }
+  vq.do_traversal();
+  return {std::move(state), vq.stats()};
+}
+
+}  // namespace sfg::core

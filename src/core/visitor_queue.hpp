@@ -1,0 +1,219 @@
+/// \file visitor_queue.hpp
+/// The distributed asynchronous visitor queue — the paper's Algorithm 1
+/// and the driver of every traversal in this library.
+///
+/// An algorithm is a *visitor* type V (paper Table I):
+///   vertex_locator vertex;                    // where to execute
+///   bool pre_visit(State&) const;             // cheap gate, runs on the
+///                                             //   vertex's (or a ghost's)
+///                                             //   state; true = proceed
+///   void visit(Graph&, slot, VState&, VQ&);   // main procedure; may push
+///   bool operator<(const V&) const;           // local priority (min-heap)
+///   static constexpr bool uses_ghosts;        // imprecise filters OK?
+///
+/// Flow, exactly as Algorithm 1:
+///   push():          ghost pre_visit filter (if any) -> mailbox.send to
+///                    the vertex's master (min_owner) partition
+///   check_mailbox(): pre_visit on the local state; on success queue
+///                    locally AND forward down the replica chain
+///   global_empty():  Mattern counting quiescence detection over a tree
+///   do_traversal():  poll mailbox / run local visitors until quiescent
+///
+/// Local ordering: min-heap by the visitor's operator<, ties broken by
+/// vertex locator — the paper's external-memory locality optimization
+/// (§V-A): equal-priority visitors execute in vertex order, maximizing
+/// page-level locality of the CSR behind the page cache.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <type_traits>
+#include <vector>
+
+#include "mailbox/routed_mailbox.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/termination.hpp"
+#include "util/rng.hpp"
+
+namespace sfg::core {
+
+/// How equal-priority visitors are ordered in the local queue.
+enum class order_tiebreak {
+  /// The paper's external-memory locality optimization (§V-A): ascending
+  /// vertex locator, maximizing page-level locality of the CSR.
+  vertex_locality,
+  /// Ablation: a hash of the locator — destroys page locality while
+  /// keeping a deterministic total order.
+  scrambled,
+};
+
+struct queue_config {
+  mailbox::topology topo = mailbox::topology::direct;
+  std::size_t aggregation_bytes = 1 << 13;
+  int data_tag = 1;
+  int control_tag = 2;
+  /// Master toggle for ghost filtering (ANDed with Visitor::uses_ghosts);
+  /// lets benches measure ghosts on/off without touching the algorithm.
+  bool use_ghosts = true;
+  /// Local visitors executed between mailbox polls.
+  int batch_size = 64;
+  order_tiebreak tiebreak = order_tiebreak::vertex_locality;
+};
+
+struct traversal_stats {
+  std::uint64_t visitors_pushed = 0;     ///< push() calls
+  std::uint64_t visitors_sent = 0;       ///< records handed to the mailbox
+  std::uint64_t visitors_delivered = 0;  ///< records received + pre_visited
+  std::uint64_t visitors_executed = 0;   ///< visit() calls
+  std::uint64_t ghost_filtered = 0;      ///< pushes suppressed by a ghost
+  std::uint64_t pre_visit_rejected = 0;  ///< deliveries gated out
+  std::uint32_t termination_waves = 0;
+  // Mailbox-level view (copied at the end of do_traversal):
+  std::uint64_t mailbox_packets = 0;    ///< aggregated packets emitted
+  std::uint64_t mailbox_forwarded = 0;  ///< records relayed (routing hops)
+  std::uint64_t mailbox_packet_bytes = 0;
+};
+
+template <typename Graph, typename Visitor, typename State>
+class visitor_queue {
+  static_assert(std::is_trivially_copyable_v<Visitor>,
+                "visitors travel as raw bytes");
+
+ public:
+  visitor_queue(Graph& g, State& state, queue_config cfg = {})
+      : graph_(&g),
+        state_(&state),
+        cfg_(cfg),
+        mailbox_(g.comm(), {cfg.topo, cfg.aggregation_bytes, cfg.data_tag}) {}
+
+  /// Paper Algorithm 1, PUSH: filter through a local ghost if present,
+  /// else (or on ghost pass) send toward the master partition.
+  void push(const Visitor& v) {
+    ++stats_.visitors_pushed;
+    if constexpr (Visitor::uses_ghosts) {
+      if (cfg_.use_ghosts && graph_->has_local_ghost(v.vertex)) {
+        Visitor copy = v;
+        if (!copy.pre_visit(state_->ghost(graph_->ghost_slot(v.vertex)))) {
+          ++stats_.ghost_filtered;
+          return;
+        }
+      }
+    }
+    ++stats_.visitors_sent;
+    mailbox_.send(v.vertex.owner(), runtime::as_bytes_of(v));
+  }
+
+  /// Paper Algorithm 1, DO_TRAVERSAL: run to global quiescence.
+  /// Collective: all ranks must call (after pushing initial visitors).
+  void do_traversal() {
+    runtime::tree_termination term(graph_->comm(), cfg_.control_tag);
+    auto deliver = [this](int /*origin*/, std::span<const std::byte> bytes) {
+      Visitor v;
+      std::memcpy(&v, bytes.data(), sizeof(Visitor));
+      this->check_mailbox_visitor(v);
+    };
+
+    runtime::comm& c = graph_->comm();
+    for (;;) {
+      // Receive: control messages feed the detector, data packets feed
+      // the mailbox (which delivers local records and re-forwards
+      // in-transit ones).
+      runtime::message m;
+      while (c.try_recv(m)) {
+        if (m.tag == cfg_.control_tag) {
+          term.on_message(m);
+        } else {
+          mailbox_.process_packet(m, deliver);
+        }
+      }
+      mailbox_.drain_local(deliver);
+
+      // Execute a bounded batch of local visitors, best-first.
+      for (int i = 0; i < cfg_.batch_size && !local_queue_.empty(); ++i) {
+        Visitor v = local_queue_.top();
+        local_queue_.pop();
+        const auto slot = graph_->slot_of(v.vertex);
+        assert(slot.has_value());  // only chain ranks ever enqueue locally
+        ++stats_.visitors_executed;
+        v.visit(*graph_, *slot, *state_, *this);
+      }
+
+      // Idle only once everything buffered has been pushed out.
+      if (local_queue_.empty()) mailbox_.flush();
+      const bool idle = local_queue_.empty() && mailbox_.idle() &&
+                        c.inbox_empty();
+      if (term.poll(mailbox_.stats().records_sent,
+                    mailbox_.stats().records_delivered, idle)) {
+        break;
+      }
+    }
+    stats_.termination_waves = term.waves_completed();
+    stats_.mailbox_packets = mailbox_.stats().packets_sent;
+    stats_.mailbox_forwarded = mailbox_.stats().records_forwarded;
+    stats_.mailbox_packet_bytes = mailbox_.stats().packet_bytes_sent;
+    // Epoch boundary: without this, a fast rank could start a *new*
+    // traversal and its records would land in a slow rank's still-running
+    // old loop — consumed against the old queue's counters and lost to
+    // the new one, so the new traversal's sent/received totals would
+    // never balance (livelock).  Every rank has consumed its DONE (and
+    // all data, by the counting invariant) before reaching this barrier,
+    // so afterwards all inboxes are empty.
+    c.barrier();
+  }
+
+  [[nodiscard]] const traversal_stats& stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] const mailbox::routed_mailbox& mail() const noexcept {
+    return mailbox_;
+  }
+
+ private:
+  /// Paper Algorithm 1, CHECK_MAILBOX body for one arriving visitor:
+  /// pre_visit the real state; on success queue locally and forward to
+  /// the next replica in the vertex's owner chain.
+  void check_mailbox_visitor(Visitor v) {
+    ++stats_.visitors_delivered;
+    const auto slot = graph_->slot_of(v.vertex);
+    // A visitor can only arrive at ranks in the owner chain.
+    assert(slot.has_value());
+    if (v.pre_visit(state_->local(*slot))) {
+      local_queue_.push(v);
+      const int next = graph_->next_owner_after(v.vertex, graph_->rank());
+      if (next >= 0) {
+        ++stats_.visitors_sent;
+        mailbox_.send(next, runtime::as_bytes_of(v));
+      }
+    } else {
+      ++stats_.pre_visit_rejected;
+    }
+  }
+
+  /// Min-heap: smallest visitor on top; ties in algorithm priority fall
+  /// back to vertex order for page locality (§V-A), or a scrambled order
+  /// for the locality ablation.
+  struct heap_cmp {
+    order_tiebreak mode = order_tiebreak::vertex_locality;
+    bool operator()(const Visitor& a, const Visitor& b) const {
+      if (b < a) return true;
+      if (a < b) return false;
+      const std::uint64_t ka = mode == order_tiebreak::vertex_locality
+                                   ? a.vertex.bits()
+                                   : util::splitmix64(a.vertex.bits());
+      const std::uint64_t kb = mode == order_tiebreak::vertex_locality
+                                   ? b.vertex.bits()
+                                   : util::splitmix64(b.vertex.bits());
+      return ka > kb;
+    }
+  };
+
+  Graph* graph_;
+  State* state_;
+  queue_config cfg_;
+  mailbox::routed_mailbox mailbox_;
+  std::priority_queue<Visitor, std::vector<Visitor>, heap_cmp> local_queue_{
+      heap_cmp{cfg_.tiebreak}};
+  traversal_stats stats_;
+};
+
+}  // namespace sfg::core

@@ -1,0 +1,145 @@
+#include "gen/generators.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace sfg::gen {
+
+slice_range slice_for_rank(std::uint64_t total, int rank, int p) {
+  const auto r = static_cast<std::uint64_t>(rank);
+  const auto pp = static_cast<std::uint64_t>(p);
+  const std::uint64_t base = total / pp;
+  const std::uint64_t extra = total % pp;
+  // The first `extra` ranks get base+1 edges.
+  const std::uint64_t begin = r * base + (r < extra ? r : extra);
+  const std::uint64_t count = base + (r < extra ? 1 : 0);
+  return {begin, begin + count};
+}
+
+void symmetrize(std::vector<edge64>& edges) {
+  const std::size_t n = edges.size();
+  edges.reserve(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    edges.push_back({edges[i].dst, edges[i].src});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RMAT
+// ---------------------------------------------------------------------------
+
+std::vector<edge64> rmat_slice(const rmat_config& cfg, std::uint64_t begin,
+                               std::uint64_t end) {
+  assert(end <= cfg.num_edges());
+  const double ab = cfg.a + cfg.b;
+  const double abc = ab + cfg.c;
+  if (abc >= 1.0001) throw std::invalid_argument("rmat: a+b+c must be <= 1");
+
+  const random_permutation perm(cfg.num_vertices(), cfg.seed ^ 0x9e37);
+  std::vector<edge64> out;
+  out.reserve(end - begin);
+  for (std::uint64_t i = begin; i < end; ++i) {
+    auto rng = util::make_stream(cfg.seed, i);
+    std::uint64_t src = 0;
+    std::uint64_t dst = 0;
+    for (unsigned level = 0; level < cfg.scale; ++level) {
+      const double r = rng.uniform_real();
+      // Quadrant choice: (0,0) with prob a, (0,1) b, (1,0) c, (1,1) d.
+      const std::uint64_t src_bit = r >= ab ? 1 : 0;
+      const std::uint64_t dst_bit = (r >= cfg.a && r < ab) || r >= abc ? 1 : 0;
+      src = (src << 1) | src_bit;
+      dst = (dst << 1) | dst_bit;
+    }
+    if (cfg.permute_labels) {
+      src = perm(src);
+      dst = perm(dst);
+    }
+    out.push_back({src, dst});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Preferential attachment
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Resolve the target of PA edge `i` with the half-edge copy model:
+/// draw r uniform over the 2i half-edges placed so far, plus one extra
+/// outcome for a self-attachment.  Even r copies the (directly
+/// computable) source endpoint of edge r/2; odd r copies the target of
+/// edge r/2, which recurses — iteratively, with strictly decreasing i,
+/// expected depth O(log i).
+std::uint64_t pa_resolve_target(const pa_config& cfg, std::uint64_t i) {
+  const std::uint64_t d = cfg.edges_per_vertex;
+  for (;;) {
+    auto rng = util::make_stream(cfg.seed, i);
+    // Optional rewire replaces the whole chain with a uniform vertex.
+    if (cfg.rewire > 0 && rng.uniform_real() < cfg.rewire) {
+      return rng.uniform_below(cfg.num_vertices);
+    }
+    const std::uint64_t r = rng.uniform_below(2 * i + 1);
+    if (r == 2 * i) return i / d;            // self-attachment
+    if ((r & 1) == 0) return (r / 2) / d;    // source endpoint of edge r/2
+    i = r / 2;                               // target endpoint: recurse
+  }
+}
+
+}  // namespace
+
+std::vector<edge64> pa_slice(const pa_config& cfg, std::uint64_t begin,
+                             std::uint64_t end) {
+  assert(end <= cfg.num_edges());
+  if (cfg.edges_per_vertex == 0) {
+    throw std::invalid_argument("pa: edges_per_vertex must be > 0");
+  }
+  const random_permutation perm(cfg.num_vertices, cfg.seed ^ 0x517c);
+  std::vector<edge64> out;
+  out.reserve(end - begin);
+  for (std::uint64_t i = begin; i < end; ++i) {
+    std::uint64_t src = i / cfg.edges_per_vertex;
+    std::uint64_t dst = pa_resolve_target(cfg, i);
+    if (cfg.permute_labels) {
+      src = perm(src);
+      dst = perm(dst);
+    }
+    out.push_back({src, dst});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Small world
+// ---------------------------------------------------------------------------
+
+std::vector<edge64> sw_slice(const sw_config& cfg, std::uint64_t begin,
+                             std::uint64_t end) {
+  assert(end <= cfg.num_edges());
+  if (cfg.degree % 2 != 0 || cfg.degree == 0) {
+    throw std::invalid_argument("sw: degree must be even and > 0");
+  }
+  const std::uint64_t half = cfg.degree / 2;
+  const random_permutation perm(cfg.num_vertices, cfg.seed ^ 0xb0a7);
+  std::vector<edge64> out;
+  out.reserve(end - begin);
+  for (std::uint64_t i = begin; i < end; ++i) {
+    const std::uint64_t u = i / half;
+    const std::uint64_t j = i % half + 1;  // ring offset 1..k/2
+    std::uint64_t v = (u + j) % cfg.num_vertices;
+    auto rng = util::make_stream(cfg.seed, i);
+    if (cfg.rewire > 0 && rng.uniform_real() < cfg.rewire) {
+      v = rng.uniform_below(cfg.num_vertices);
+    }
+    std::uint64_t src = u;
+    std::uint64_t dst = v;
+    if (cfg.permute_labels) {
+      src = perm(src);
+      dst = perm(dst);
+    }
+    out.push_back({src, dst});
+  }
+  return out;
+}
+
+}  // namespace sfg::gen

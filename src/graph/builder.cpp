@@ -1,0 +1,345 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "gen/generators.hpp"
+
+#include "sort/sample_sort.hpp"
+
+namespace sfg::graph {
+
+namespace {
+
+using gen::by_src_dst;
+using gen::edge64;
+
+/// Boundary descriptor gathered from every rank after the global sort.
+struct chunk_bounds {
+  std::uint64_t first_src = 0;
+  std::uint64_t last_src = 0;
+  std::uint32_t has_edges = 0;
+};
+
+/// Wire records for the directory exchange.
+struct dir_insert {
+  std::uint64_t global_id;
+  std::uint64_t locator_bits;
+};
+struct dir_request {
+  std::uint64_t global_id;
+};
+struct dir_reply {
+  std::uint64_t global_id;
+  std::uint64_t locator_bits;
+};
+struct split_count {
+  std::uint64_t global_id;
+  std::uint64_t count;
+};
+struct split_master {
+  std::uint64_t global_id;
+  std::uint64_t master_slot;
+};
+
+/// Drop duplicate edges across rank boundaries.  Requires a globally
+/// sorted, locally deduplicated edge list.  Uses each rank's pre-drop last
+/// element so chains of ranks holding only one repeated value collapse
+/// correctly.
+void dedup_across_boundaries(runtime::comm& c, std::vector<edge64>& edges) {
+  struct last_info {
+    edge64 last{};
+    std::uint32_t has = 0;
+  };
+  last_info mine;
+  if (!edges.empty()) {
+    mine.last = edges.back();
+    mine.has = 1;
+  }
+  const auto lasts = c.all_gather(mine);
+  // Nearest lower rank that had elements.
+  for (int q = c.rank() - 1; q >= 0; --q) {
+    if (lasts[static_cast<std::size_t>(q)].has == 0) continue;
+    const edge64 prev_last = lasts[static_cast<std::size_t>(q)].last;
+    std::size_t drop = 0;
+    while (drop < edges.size() && edges[drop] == prev_last) ++drop;
+    if (drop > 0) edges.erase(edges.begin(), edges.begin() + static_cast<std::ptrdiff_t>(drop));
+    break;
+  }
+}
+
+}  // namespace
+
+partition_blueprint build_partition(runtime::comm& c,
+                                    std::vector<edge64> edges,
+                                    const graph_build_config& cfg) {
+  const int p = c.size();
+  const int rank = c.rank();
+
+  // ---- phase 1: normalize the raw edge list -------------------------------
+  if (cfg.undirected) gen::symmetrize(edges);
+  if (cfg.remove_self_loops) {
+    std::erase_if(edges, [](const edge64& e) { return e.src == e.dst; });
+  }
+
+  // ---- phase 2: global sort, exact even partition -------------------------
+  edges = sort::sample_sort(c, std::move(edges), by_src_dst{});
+  if (cfg.remove_duplicates) {
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    dedup_across_boundaries(c, edges);
+  }
+  edges = sort::rebalance_even(c, std::move(edges));
+
+  partition_blueprint bp;
+  bp.rank = rank;
+  bp.p = p;
+  bp.total_edges = c.all_reduce(static_cast<std::uint64_t>(edges.size()),
+                                std::plus<>());
+
+  // ---- phase 3: local sources (run-length over the sorted chunk) ----------
+  std::vector<std::uint64_t> src_ids;   // distinct sources, chunk order
+  std::vector<std::uint64_t> src_count;
+  for (const auto& e : edges) {
+    if (src_ids.empty() || src_ids.back() != e.src) {
+      src_ids.push_back(e.src);
+      src_count.push_back(0);
+    }
+    ++src_count.back();
+  }
+  bp.num_sources = src_ids.size();
+
+  // ---- phase 4: split-vertex detection from chunk boundaries --------------
+  chunk_bounds mine;
+  if (!edges.empty()) {
+    mine = {edges.front().src, edges.back().src, 1};
+  }
+  const auto bounds = c.all_gather(mine);
+
+  // Walk non-empty ranks in order; a shared boundary value opens/extends a
+  // span.  Every rank computes the identical table.
+  struct proto_split {
+    std::uint64_t global_id;
+    std::vector<int> owners;
+  };
+  std::vector<proto_split> proto;  // in ascending global order of appearance
+  {
+    int prev = -1;  // previous non-empty rank
+    for (int r = 0; r < p; ++r) {
+      if (bounds[static_cast<std::size_t>(r)].has_edges == 0) continue;
+      if (prev >= 0) {
+        const auto& a = bounds[static_cast<std::size_t>(prev)];
+        const auto& b = bounds[static_cast<std::size_t>(r)];
+        if (a.last_src == b.first_src) {
+          if (!proto.empty() && proto.back().global_id == a.last_src &&
+              proto.back().owners.back() == prev) {
+            proto.back().owners.push_back(r);
+          } else {
+            proto.push_back({a.last_src, {prev, r}});
+          }
+        }
+      }
+      prev = r;
+    }
+  }
+
+  auto slot_of_source = [&](std::uint64_t gid) -> std::uint64_t {
+    const auto it = std::lower_bound(src_ids.begin(), src_ids.end(), gid);
+    assert(it != src_ids.end() && *it == gid);
+    return static_cast<std::uint64_t>(it - src_ids.begin());
+  };
+
+  // Masters publish their slot for each split vertex; every rank holding a
+  // slice publishes its local edge count so global degrees can be summed.
+  std::vector<split_master> my_masters;
+  std::vector<split_count> my_counts;
+  for (const auto& ps : proto) {
+    const bool held_here =
+        std::find(ps.owners.begin(), ps.owners.end(), rank) != ps.owners.end();
+    if (!held_here) continue;
+    const std::uint64_t slot = slot_of_source(ps.global_id);
+    if (ps.owners.front() == rank) {
+      my_masters.push_back({ps.global_id, slot});
+    }
+    my_counts.push_back({ps.global_id, src_count[slot]});
+  }
+  const auto all_masters =
+      c.all_gatherv(std::span<const split_master>(my_masters), nullptr);
+  const auto all_counts =
+      c.all_gatherv(std::span<const split_count>(my_counts), nullptr);
+
+  std::unordered_map<std::uint64_t, std::uint64_t> split_master_slot;
+  for (const auto& m : all_masters) split_master_slot[m.global_id] = m.master_slot;
+  std::unordered_map<std::uint64_t, std::uint64_t> split_degree;
+  for (const auto& sc : all_counts) split_degree[sc.global_id] += sc.count;
+
+  std::unordered_map<std::uint64_t, vertex_locator> split_locator;
+  bp.split_table.reserve(proto.size());
+  for (auto& ps : proto) {
+    split_entry e;
+    e.global_id = ps.global_id;
+    const vertex_locator loc(ps.owners.front(),
+                             split_master_slot.at(ps.global_id));
+    e.locator_bits = loc.bits();
+    e.global_degree = split_degree.at(ps.global_id);
+    e.owners = std::move(ps.owners);
+    split_locator.emplace(e.global_id, loc);
+    bp.split_table.push_back(std::move(e));
+  }
+
+  // ---- phase 5: slot metadata for sources ---------------------------------
+  bp.csr_offsets.resize(bp.num_sources + 1, 0);
+  for (std::size_t i = 0; i < bp.num_sources; ++i) {
+    bp.csr_offsets[i + 1] = bp.csr_offsets[i] + src_count[i];
+  }
+  bp.slot_global_id = src_ids;
+  bp.slot_locator_bits.resize(bp.num_sources);
+  bp.slot_degree.resize(bp.num_sources);
+  std::uint64_t mastered_sources = 0;
+  for (std::size_t i = 0; i < bp.num_sources; ++i) {
+    if (const auto it = split_locator.find(src_ids[i]);
+        it != split_locator.end()) {
+      bp.slot_locator_bits[i] = it->second.bits();
+      bp.slot_degree[i] = split_degree.at(src_ids[i]);
+      if (it->second.owner() == rank) ++mastered_sources;
+    } else {
+      bp.slot_locator_bits[i] = vertex_locator(rank, i).bits();
+      bp.slot_degree[i] = src_count[i];
+      ++mastered_sources;
+    }
+  }
+
+  // ---- phase 6: directory build (masters register their vertices) ---------
+  std::vector<std::vector<dir_insert>> inserts(static_cast<std::size_t>(p));
+  for (std::size_t i = 0; i < bp.num_sources; ++i) {
+    const vertex_locator loc = vertex_locator::from_bits(bp.slot_locator_bits[i]);
+    if (loc.owner() != rank) continue;  // replicas do not register
+    const int d = directory_rank(src_ids[i], p);
+    inserts[static_cast<std::size_t>(d)].push_back(
+        {src_ids[i], bp.slot_locator_bits[i]});
+  }
+  std::unordered_map<std::uint64_t, std::uint64_t> directory;
+  for (const auto& batch : c.all_to_allv(inserts)) {
+    for (const auto& ins : batch) {
+      directory.emplace(ins.global_id, ins.locator_bits);
+    }
+  }
+
+  // ---- phase 7: target relabel + sink discovery ---------------------------
+  // Distinct targets, then one lookup round; unknown ids become sinks
+  // owned (and slotted) at their directory rank.
+  std::vector<std::uint64_t> distinct_targets;
+  distinct_targets.reserve(edges.size());
+  for (const auto& e : edges) distinct_targets.push_back(e.dst);
+  std::sort(distinct_targets.begin(), distinct_targets.end());
+  distinct_targets.erase(
+      std::unique(distinct_targets.begin(), distinct_targets.end()),
+      distinct_targets.end());
+
+  std::vector<std::vector<dir_request>> requests(static_cast<std::size_t>(p));
+  for (const auto t : distinct_targets) {
+    requests[static_cast<std::size_t>(directory_rank(t, p))].push_back({t});
+  }
+  const auto incoming_requests = c.all_to_allv(requests);
+
+  std::vector<std::uint64_t> sink_ids;  // sinks slotted at this rank
+  std::vector<std::vector<dir_reply>> replies(static_cast<std::size_t>(p));
+  for (int s = 0; s < p; ++s) {
+    for (const auto& req : incoming_requests[static_cast<std::size_t>(s)]) {
+      auto it = directory.find(req.global_id);
+      if (it == directory.end()) {
+        // First sighting of a pure sink: slot it locally after sources.
+        const std::uint64_t slot = bp.num_sources + sink_ids.size();
+        const vertex_locator loc(rank, slot);
+        it = directory.emplace(req.global_id, loc.bits()).first;
+        sink_ids.push_back(req.global_id);
+      }
+      replies[static_cast<std::size_t>(s)].push_back(
+          {req.global_id, it->second});
+    }
+  }
+  const auto incoming_replies = c.all_to_allv(replies);
+
+  std::unordered_map<std::uint64_t, std::uint64_t> target_locator;
+  target_locator.reserve(distinct_targets.size());
+  for (const auto& batch : incoming_replies) {
+    for (const auto& rep : batch) {
+      target_locator.emplace(rep.global_id, rep.locator_bits);
+    }
+  }
+
+  bp.num_sinks = sink_ids.size();
+  for (const auto gid : sink_ids) {
+    bp.slot_global_id.push_back(gid);
+    bp.slot_locator_bits.push_back(
+        vertex_locator(rank, bp.slot_global_id.size() - 1).bits());
+    bp.slot_degree.push_back(0);
+  }
+
+  // Adjacency: rewrite targets to locator bits, sorted within each row
+  // (weights, when requested, travel with their edge through the sort).
+  bp.adj_bits.resize(edges.size());
+  if (cfg.make_weights) bp.adj_weight.resize(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    bp.adj_bits[i] = target_locator.at(edges[i].dst);
+    if (cfg.make_weights) {
+      bp.adj_weight[i] =
+          edge_weight_of(edges[i].src, edges[i].dst, cfg.max_weight);
+    }
+  }
+  for (std::size_t s = 0; s < bp.num_sources; ++s) {
+    const auto lo = static_cast<std::ptrdiff_t>(bp.csr_offsets[s]);
+    const auto hi = static_cast<std::ptrdiff_t>(bp.csr_offsets[s + 1]);
+    if (!cfg.make_weights) {
+      std::sort(bp.adj_bits.begin() + lo, bp.adj_bits.begin() + hi);
+    } else {
+      std::vector<std::pair<std::uint64_t, std::uint32_t>> row;
+      row.reserve(static_cast<std::size_t>(hi - lo));
+      for (auto i = lo; i < hi; ++i) {
+        row.emplace_back(bp.adj_bits[static_cast<std::size_t>(i)],
+                         bp.adj_weight[static_cast<std::size_t>(i)]);
+      }
+      std::sort(row.begin(), row.end());
+      for (auto i = lo; i < hi; ++i) {
+        bp.adj_bits[static_cast<std::size_t>(i)] =
+            row[static_cast<std::size_t>(i - lo)].first;
+        bp.adj_weight[static_cast<std::size_t>(i)] =
+            row[static_cast<std::size_t>(i - lo)].second;
+      }
+    }
+  }
+
+  // ---- phase 8: totals -----------------------------------------------------
+  bp.total_vertices = c.all_reduce(
+      mastered_sources + static_cast<std::uint64_t>(bp.num_sinks),
+      std::plus<>());
+
+  // ---- phase 9: ghost selection (paper §IV-B) ------------------------------
+  if (cfg.num_ghosts > 0) {
+    std::unordered_map<std::uint64_t, std::uint64_t> remote_in_degree;
+    for (const auto bits : bp.adj_bits) {
+      if (vertex_locator::from_bits(bits).owner() != rank) {
+        ++remote_in_degree[bits];
+      }
+    }
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> cand;  // (count, bits)
+    cand.reserve(remote_in_degree.size());
+    for (const auto& [bits, count] : remote_in_degree) {
+      if (count >= cfg.ghost_min_local_degree) cand.emplace_back(count, bits);
+    }
+    std::sort(cand.begin(), cand.end(), [](const auto& a, const auto& b) {
+      return a.first != b.first ? a.first > b.first : a.second < b.second;
+    });
+    if (cand.size() > cfg.num_ghosts) cand.resize(cfg.num_ghosts);
+    bp.ghost_locator_bits.reserve(cand.size());
+    for (const auto& [count, bits] : cand) bp.ghost_locator_bits.push_back(bits);
+  }
+
+  // ---- phase 10: persist this rank's directory shard -----------------------
+  bp.directory.assign(directory.begin(), directory.end());
+  std::sort(bp.directory.begin(), bp.directory.end());
+
+  return bp;
+}
+
+}  // namespace sfg::graph

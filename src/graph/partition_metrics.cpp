@@ -1,0 +1,44 @@
+#include "graph/partition_metrics.hpp"
+
+namespace sfg::graph {
+
+std::vector<std::uint64_t> edges_per_partition_1d(
+    std::span<const gen::edge64> edges, std::uint64_t num_vertices, int p) {
+  const std::uint64_t block =
+      util::div_ceil(num_vertices, static_cast<std::uint64_t>(p));
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(p), 0);
+  for (const auto& e : edges) {
+    ++counts[static_cast<std::size_t>(e.src / block)];
+  }
+  return counts;
+}
+
+std::vector<std::uint64_t> edges_per_partition_2d(
+    std::span<const gen::edge64> edges, std::uint64_t num_vertices, int p) {
+  const auto shape = util::near_square_factors(p);
+  const std::uint64_t row_block =
+      util::div_ceil(num_vertices, static_cast<std::uint64_t>(shape.rows));
+  const std::uint64_t col_block =
+      util::div_ceil(num_vertices, static_cast<std::uint64_t>(shape.cols));
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(p), 0);
+  for (const auto& e : edges) {
+    const auto r = e.src / row_block;
+    const auto c = e.dst / col_block;
+    counts[static_cast<std::size_t>(r) * static_cast<std::size_t>(shape.cols) +
+           static_cast<std::size_t>(c)]++;
+  }
+  return counts;
+}
+
+std::vector<std::uint64_t> edges_per_partition_edge_list(
+    std::uint64_t num_edges, int p) {
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(p));
+  const std::uint64_t base = num_edges / static_cast<std::uint64_t>(p);
+  const std::uint64_t extra = num_edges % static_cast<std::uint64_t>(p);
+  for (std::size_t r = 0; r < counts.size(); ++r) {
+    counts[r] = base + (r < extra ? 1 : 0);
+  }
+  return counts;
+}
+
+}  // namespace sfg::graph

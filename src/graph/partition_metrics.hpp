@@ -1,0 +1,32 @@
+/// \file partition_metrics.hpp
+/// Edges-per-partition distributions for the three partitioning schemes
+/// the paper compares (Figure 2): 1D vertex-block, 2D adjacency-matrix
+/// block, and this work's edge-list partitioning.  Pure functions of an
+/// edge list — used by the Figure 2 bench and by tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gen/edge.hpp"
+#include "util/bits.hpp"
+
+namespace sfg::graph {
+
+/// 1D: vertex v's entire adjacency list goes to partition
+/// floor(v / ceil(V/p)).  Returns edges per partition.
+std::vector<std::uint64_t> edges_per_partition_1d(
+    std::span<const gen::edge64> edges, std::uint64_t num_vertices, int p);
+
+/// 2D: the adjacency matrix is blocked on a near-square R x C processor
+/// grid; edge (u, v) goes to block (u / ceil(V/R), v / ceil(V/C)).
+std::vector<std::uint64_t> edges_per_partition_2d(
+    std::span<const gen::edge64> edges, std::uint64_t num_vertices, int p);
+
+/// Edge-list: the sorted edge list is split evenly — floor/ceil(|E|/p)
+/// per partition by construction.
+std::vector<std::uint64_t> edges_per_partition_edge_list(
+    std::uint64_t num_edges, int p);
+
+}  // namespace sfg::graph

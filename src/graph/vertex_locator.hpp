@@ -1,0 +1,105 @@
+/// \file vertex_locator.hpp
+/// Owner-encoded vertex identifier.
+///
+/// The paper (§III-A1): "These operations [min_owner/max_owner] can be
+/// performed in constant time by preserving the rank owner information
+/// with the identifier v ... We choose to store the owner information as
+/// part of the identifier."  A locator packs the *master* (min_owner) rank
+/// into the top 16 bits and the master's local slot index into the low 48:
+///
+///     bits 63..48   owner (master partition rank)
+///     bits 47..0    local slot index on the owner
+///
+/// Locators are what travel inside visitors and what adjacency lists
+/// store; global vertex ids only exist at graph-construction time and at
+/// the API boundary (distributed_graph::locate / global_id_of).
+/// Comparison is by raw bits, giving the total order used by triangle
+/// counting's "visit vertices of a triangle in increasing order" rule —
+/// any consistent total order works (§VI-C), and bit order means replicas
+/// and masters agree without communication.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace sfg::graph {
+
+class vertex_locator {
+ public:
+  static constexpr unsigned kOwnerBits = 16;
+  static constexpr unsigned kLocalBits = 48;
+  static constexpr std::uint64_t kLocalMask =
+      (std::uint64_t{1} << kLocalBits) - 1;
+
+  constexpr vertex_locator() = default;
+
+  constexpr vertex_locator(int owner, std::uint64_t local_id)
+      : bits_((static_cast<std::uint64_t>(owner) << kLocalBits) |
+              (local_id & kLocalMask)) {}
+
+  /// An always-invalid locator (owner 0xffff, id all-ones).
+  static constexpr vertex_locator invalid() {
+    vertex_locator v;
+    v.bits_ = std::numeric_limits<std::uint64_t>::max();
+    return v;
+  }
+
+  static constexpr vertex_locator from_bits(std::uint64_t bits) {
+    vertex_locator v;
+    v.bits_ = bits;
+    return v;
+  }
+
+  [[nodiscard]] constexpr std::uint64_t bits() const noexcept { return bits_; }
+
+  /// The master (min_owner) partition rank.
+  [[nodiscard]] constexpr int owner() const noexcept {
+    return static_cast<int>(bits_ >> kLocalBits);
+  }
+
+  /// Slot index on the master partition.
+  [[nodiscard]] constexpr std::uint64_t local_id() const noexcept {
+    return bits_ & kLocalMask;
+  }
+
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return bits_ != std::numeric_limits<std::uint64_t>::max();
+  }
+
+  friend constexpr bool operator==(vertex_locator a,
+                                   vertex_locator b) noexcept {
+    return a.bits_ == b.bits_;
+  }
+  friend constexpr bool operator!=(vertex_locator a,
+                                   vertex_locator b) noexcept {
+    return a.bits_ != b.bits_;
+  }
+  friend constexpr bool operator<(vertex_locator a,
+                                  vertex_locator b) noexcept {
+    return a.bits_ < b.bits_;
+  }
+  friend constexpr bool operator>(vertex_locator a,
+                                  vertex_locator b) noexcept {
+    return a.bits_ > b.bits_;
+  }
+  friend constexpr bool operator<=(vertex_locator a,
+                                   vertex_locator b) noexcept {
+    return a.bits_ <= b.bits_;
+  }
+
+ private:
+  std::uint64_t bits_ = std::numeric_limits<std::uint64_t>::max();
+};
+
+struct vertex_locator_hash {
+  std::size_t operator()(vertex_locator v) const noexcept {
+    // splitmix-style finalizer; locators cluster in low bits otherwise.
+    std::uint64_t x = v.bits();
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+};
+
+}  // namespace sfg::graph

@@ -1,0 +1,179 @@
+#include "io/edge_list_io.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "gen/generators.hpp"
+
+namespace sfg::io {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error("edge_list_io: " + what + ": " + path);
+}
+
+std::uint64_t file_size_of(std::ifstream& in) {
+  in.seekg(0, std::ios::end);
+  const auto size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+  return size;
+}
+
+}  // namespace
+
+// ---- binary ----------------------------------------------------------------
+
+void write_binary_edges(const std::string& path,
+                        std::span<const gen::edge64> edges) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) fail("cannot open for write", path);
+  out.write(reinterpret_cast<const char*>(edges.data()),
+            static_cast<std::streamsize>(edges.size_bytes()));
+  if (!out) fail("short write", path);
+}
+
+std::vector<gen::edge64> read_binary_edges(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("cannot open", path);
+  const std::uint64_t bytes = file_size_of(in);
+  if (bytes % sizeof(gen::edge64) != 0) {
+    fail("size is not a multiple of 16", path);
+  }
+  std::vector<gen::edge64> edges(bytes / sizeof(gen::edge64));
+  in.read(reinterpret_cast<char*>(edges.data()),
+          static_cast<std::streamsize>(bytes));
+  if (!in) fail("short read", path);
+  return edges;
+}
+
+std::vector<gen::edge64> read_binary_edges_distributed(
+    runtime::comm& c, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("cannot open", path);
+  const std::uint64_t bytes = file_size_of(in);
+  if (bytes % sizeof(gen::edge64) != 0) {
+    fail("size is not a multiple of 16", path);
+  }
+  const std::uint64_t total = bytes / sizeof(gen::edge64);
+  const auto range = gen::slice_for_rank(total, c.rank(), c.size());
+  std::vector<gen::edge64> edges(range.end - range.begin);
+  in.seekg(static_cast<std::streamoff>(range.begin * sizeof(gen::edge64)));
+  in.read(reinterpret_cast<char*>(edges.data()),
+          static_cast<std::streamsize>(edges.size() * sizeof(gen::edge64)));
+  if (!in && !edges.empty()) fail("short read", path);
+  return edges;
+}
+
+void write_binary_edges_distributed(runtime::comm& c,
+                                    const std::string& path,
+                                    std::span<const gen::edge64> edges) {
+  // Compute this rank's byte offset, have rank 0 size the file, then all
+  // ranks pwrite their stripe concurrently (the file_device pattern, but
+  // plain positional stdio here keeps the dependency surface small).
+  const std::uint64_t my_bytes = edges.size_bytes();
+  const std::uint64_t my_offset = c.exscan_sum(my_bytes);
+  const std::uint64_t total = c.all_reduce(my_bytes, std::plus<>());
+  if (c.rank() == 0) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) fail("cannot create", path);
+    if (total > 0) {
+      out.seekp(static_cast<std::streamoff>(total - 1));
+      out.put('\0');
+    }
+  }
+  c.barrier();  // file exists and is sized before anyone writes
+  if (my_bytes > 0) {
+    std::fstream out(path, std::ios::binary | std::ios::in | std::ios::out);
+    if (!out) fail("cannot open for stripe write", path);
+    out.seekp(static_cast<std::streamoff>(my_offset));
+    out.write(reinterpret_cast<const char*>(edges.data()),
+              static_cast<std::streamsize>(my_bytes));
+    if (!out) fail("short stripe write", path);
+  }
+  c.barrier();  // all stripes durable before anyone reads back
+}
+
+// ---- text ------------------------------------------------------------------
+
+void write_text_edges(const std::string& path,
+                      std::span<const gen::edge64> edges) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) fail("cannot open for write", path);
+  for (const auto& e : edges) {
+    out << e.src << ' ' << e.dst << '\n';
+  }
+  if (!out) fail("short write", path);
+}
+
+namespace {
+
+/// Parse the lines whose first byte lies in [begin, end) of `data`.
+std::vector<gen::edge64> parse_text_range(std::string_view data,
+                                          std::size_t begin,
+                                          std::size_t end,
+                                          const std::string& path) {
+  std::vector<gen::edge64> edges;
+  // Skip forward to the first line that *starts* in our range: if begin
+  // is mid-line, that line belongs to the previous range.
+  std::size_t pos = begin;
+  if (pos != 0 && data[pos - 1] != '\n') {
+    const auto nl = data.find('\n', pos);
+    if (nl == std::string_view::npos) return edges;
+    pos = nl + 1;
+  }
+  while (pos < end) {
+    auto eol = data.find('\n', pos);
+    if (eol == std::string_view::npos) eol = data.size();
+    const std::string_view line = data.substr(pos, eol - pos);
+    pos = eol + 1;
+    // Skip blanks and comments.
+    std::size_t i = 0;
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i])) != 0) {
+      ++i;
+    }
+    if (i == line.size() || line[i] == '#' || line[i] == '%') continue;
+    gen::edge64 e;
+    char* after = nullptr;
+    e.src = std::strtoull(line.data() + i, &after, 10);
+    if (after == line.data() + i) fail("parse error (src)", path);
+    e.dst = std::strtoull(after, &after, 10);
+    edges.push_back(e);
+  }
+  return edges;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("cannot open", path);
+  const std::uint64_t bytes = file_size_of(in);
+  std::string data(bytes, '\0');
+  in.read(data.data(), static_cast<std::streamsize>(bytes));
+  if (!in && bytes > 0) fail("short read", path);
+  return data;
+}
+
+}  // namespace
+
+std::vector<gen::edge64> read_text_edges(const std::string& path) {
+  const std::string data = slurp(path);
+  return parse_text_range(data, 0, data.size(), path);
+}
+
+std::vector<gen::edge64> read_text_edges_distributed(
+    runtime::comm& c, const std::string& path) {
+  // Each rank maps its byte range; strtoull may read past `end` for the
+  // line that *starts* inside the range, which is exactly the boundary
+  // rule.  For simplicity each rank slurps the file (laptop scale) but
+  // parses only its range — the parse, not the read, is the hot part.
+  const std::string data = slurp(path);
+  const auto bytes = static_cast<std::uint64_t>(data.size());
+  const auto range = gen::slice_for_rank(bytes, c.rank(), c.size());
+  return parse_text_range(data, range.begin, range.end, path);
+}
+
+}  // namespace sfg::io

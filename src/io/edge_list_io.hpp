@@ -1,0 +1,60 @@
+/// \file edge_list_io.hpp
+/// Edge-list file I/O.
+///
+/// The paper notes that "in many graph file formats the edge list is
+/// already sorted" (§III-A1) and its pipeline starts from an edge list on
+/// disk.  This module provides:
+///   * a packed binary format (16 bytes/edge, little-endian), written
+///     either whole or as per-rank stripes;
+///   * a whitespace-separated text format ("src dst\n", '#' comments);
+///   * distributed readers: each rank reads only its byte range of the
+///     file, fixing record/line boundaries locally — no rank ever holds
+///     the whole file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/edge.hpp"
+#include "runtime/comm.hpp"
+
+namespace sfg::io {
+
+// ---- binary format ---------------------------------------------------------
+
+/// Write all edges to `path` (16 bytes per edge, src then dst, LE).
+void write_binary_edges(const std::string& path,
+                        std::span<const gen::edge64> edges);
+
+/// Read the whole binary file.
+std::vector<gen::edge64> read_binary_edges(const std::string& path);
+
+/// Collective: rank r of p reads the r-th even slice of the binary file.
+/// The union over ranks is exactly the file's edge list.
+std::vector<gen::edge64> read_binary_edges_distributed(
+    runtime::comm& c, const std::string& path);
+
+/// Collective: every rank appends its edges; the file ends up holding the
+/// concatenation in rank order (rank 0 first).
+void write_binary_edges_distributed(runtime::comm& c,
+                                    const std::string& path,
+                                    std::span<const gen::edge64> edges);
+
+// ---- text format -----------------------------------------------------------
+
+/// Write "src dst\n" lines.
+void write_text_edges(const std::string& path,
+                      std::span<const gen::edge64> edges);
+
+/// Read a text edge list; skips blank lines and lines starting with '#'
+/// or '%' (SNAP / Matrix-Market-neighborhood conventions).
+std::vector<gen::edge64> read_text_edges(const std::string& path);
+
+/// Collective: rank r parses only its byte range, with the standard
+/// boundary rule (a rank owns a line iff the line's first byte is in its
+/// range), so every line is parsed exactly once.
+std::vector<gen::edge64> read_text_edges_distributed(
+    runtime::comm& c, const std::string& path);
+
+}  // namespace sfg::io

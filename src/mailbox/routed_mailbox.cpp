@@ -1,0 +1,102 @@
+#include "mailbox/routed_mailbox.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace sfg::mailbox {
+
+routed_mailbox::routed_mailbox(runtime::comm& c, config cfg)
+    : comm_(&c),
+      cfg_(cfg),
+      router_(cfg.topo, c.size()),
+      channels_(static_cast<std::size_t>(c.size())) {}
+
+void routed_mailbox::send(int final_dest, std::span<const std::byte> record) {
+  ++stats_.records_sent;
+  route_record(static_cast<std::uint32_t>(comm_->rank()), final_dest, record);
+}
+
+void routed_mailbox::route_record(std::uint32_t origin, int final_dest,
+                                  std::span<const std::byte> record) {
+  assert(final_dest >= 0 && final_dest < comm_->size());
+  if (final_dest == comm_->rank()) {
+    local_pending_.push_back(
+        {origin, std::vector<std::byte>(record.begin(), record.end())});
+    return;
+  }
+  const int hop = router_.next_hop(comm_->rank(), final_dest);
+  auto& buf = channels_[static_cast<std::size_t>(hop)];
+  const record_header hdr{static_cast<std::uint32_t>(final_dest), origin,
+                          static_cast<std::uint32_t>(record.size())};
+  const auto* hdr_bytes = reinterpret_cast<const std::byte*>(&hdr);
+  buf.insert(buf.end(), hdr_bytes, hdr_bytes + sizeof(hdr));
+  buf.insert(buf.end(), record.begin(), record.end());
+  if (buf.size() >= cfg_.aggregation_bytes) flush_channel(hop);
+}
+
+void routed_mailbox::flush_channel(int next_hop) {
+  auto& buf = channels_[static_cast<std::size_t>(next_hop)];
+  if (buf.empty()) return;
+  comm_->send(next_hop, cfg_.tag, buf);
+  ++stats_.packets_sent;
+  stats_.packet_bytes_sent += buf.size();
+  buf.clear();
+}
+
+void routed_mailbox::flush() {
+  for (int r = 0; r < comm_->size(); ++r) flush_channel(r);
+}
+
+bool routed_mailbox::idle() const {
+  if (!local_pending_.empty()) return false;
+  for (const auto& buf : channels_) {
+    if (!buf.empty()) return false;
+  }
+  return true;
+}
+
+std::size_t routed_mailbox::drain_local(const delivery_handler& deliver) {
+  // Records may re-enter local_pending_ from inside the handler (a visitor
+  // visiting a local vertex can push more visitors to this same rank), so
+  // swap out the batch first.
+  std::size_t delivered = 0;
+  while (!local_pending_.empty()) {
+    std::vector<local_record> batch;
+    batch.swap(local_pending_);
+    for (const auto& rec : batch) {
+      ++stats_.records_delivered;
+      ++delivered;
+      deliver(static_cast<int>(rec.origin), rec.bytes);
+    }
+  }
+  return delivered;
+}
+
+std::size_t routed_mailbox::process_packet(const runtime::message& m,
+                                           const delivery_handler& deliver) {
+  assert(m.tag == cfg_.tag);
+  std::size_t delivered = 0;
+  std::size_t off = 0;
+  const std::byte* data = m.payload.data();
+  const std::size_t total = m.payload.size();
+  while (off < total) {
+    record_header hdr;
+    assert(off + sizeof(hdr) <= total);
+    std::memcpy(&hdr, data + off, sizeof(hdr));
+    off += sizeof(hdr);
+    assert(off + hdr.size <= total);
+    const std::span<const std::byte> record(data + off, hdr.size);
+    off += hdr.size;
+    if (static_cast<int>(hdr.final_dest) == comm_->rank()) {
+      ++stats_.records_delivered;
+      ++delivered;
+      deliver(static_cast<int>(hdr.origin), record);
+    } else {
+      ++stats_.records_forwarded;
+      route_record(hdr.origin, static_cast<int>(hdr.final_dest), record);
+    }
+  }
+  return delivered;
+}
+
+}  // namespace sfg::mailbox

@@ -1,0 +1,103 @@
+/// \file routed_mailbox.hpp
+/// The paper's *mailbox* abstraction (§V): `send(rank, data)` /
+/// `receive()`, implemented over the routing-and-aggregation network of
+/// §III-B.  Records destined for the same next hop are packed into one
+/// aggregated packet; intermediate ranks unpack, deliver their own records
+/// and re-aggregate the rest toward the final destination.
+///
+/// Ownership of the receive loop stays with the caller (the distributed
+/// visitor queue): the caller pulls `runtime::message`s off its comm inbox
+/// and feeds packets with the mailbox's tag to process_packet().  This
+/// mirrors how the paper multiplexes visitor traffic and termination-
+/// detection control traffic over one transport.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "mailbox/topology.hpp"
+#include "runtime/comm.hpp"
+
+namespace sfg::mailbox {
+
+class routed_mailbox {
+ public:
+  struct config {
+    topology topo = topology::direct;
+    /// Flush a channel once its buffered payload reaches this size.
+    std::size_t aggregation_bytes = 1 << 13;
+    /// Tag used for this mailbox's packets on the underlying comm.
+    int tag = 0;
+  };
+
+  /// Called once per delivered record: (origin_rank, record_bytes).
+  using delivery_handler =
+      std::function<void(int origin, std::span<const std::byte>)>;
+
+  routed_mailbox(runtime::comm& c, config cfg);
+
+  /// Queue one record for delivery to `final_dest` (may be this rank).
+  /// Buffered until the channel fills or flush() is called.
+  void send(int final_dest, std::span<const std::byte> record);
+
+  /// Feed one packet received from the comm (message.tag must equal
+  /// config::tag).  Records addressed to this rank are handed to `deliver`;
+  /// records in transit are re-buffered toward their next hop.  Returns
+  /// the number of records delivered locally.
+  std::size_t process_packet(const runtime::message& m,
+                             const delivery_handler& deliver);
+
+  /// Deliver records this rank sent to itself.  Returns count delivered.
+  std::size_t drain_local(const delivery_handler& deliver);
+
+  /// Push out every non-empty channel buffer.  Must be called when the
+  /// owner goes idle, or in-transit records would sit in aggregation
+  /// buffers forever and termination detection would (correctly) never
+  /// fire.
+  void flush();
+
+  /// True when nothing is buffered for sending and no local self-records
+  /// are pending.  Part of the owner's "locally idle" predicate.
+  [[nodiscard]] bool idle() const;
+
+  [[nodiscard]] const router& route() const noexcept { return router_; }
+
+  struct mailbox_stats {
+    std::uint64_t records_sent = 0;       ///< records originated here
+    std::uint64_t records_delivered = 0;  ///< records consumed here
+    std::uint64_t records_forwarded = 0;  ///< records relayed through here
+    std::uint64_t packets_sent = 0;       ///< aggregated packets emitted
+    std::uint64_t packet_bytes_sent = 0;
+  };
+  [[nodiscard]] const mailbox_stats& stats() const noexcept { return stats_; }
+  void reset_stats() { stats_ = mailbox_stats{}; }
+
+ private:
+  struct record_header {
+    std::uint32_t final_dest;
+    std::uint32_t origin;
+    std::uint32_t size;
+  };
+
+  /// Append a record to the buffer for its next hop (or local queue).
+  void route_record(std::uint32_t origin, int final_dest,
+                    std::span<const std::byte> record);
+  void flush_channel(int next_hop);
+
+  runtime::comm* comm_;
+  config cfg_;
+  router router_;
+  /// Aggregation buffer per next-hop rank (indexed by rank id; only the
+  /// O(sqrt p) legal next hops are ever non-empty).
+  std::vector<std::vector<std::byte>> channels_;
+  struct local_record {
+    std::uint32_t origin;
+    std::vector<std::byte> bytes;
+  };
+  std::vector<local_record> local_pending_;
+  mailbox_stats stats_;
+};
+
+}  // namespace sfg::mailbox

@@ -1,0 +1,184 @@
+#include "reference/serial_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <queue>
+
+#include "gen/generators.hpp"
+#include "graph/builder.hpp"  // edge_weight_of
+
+namespace sfg::reference {
+
+serial_graph serial_graph::from_edges(std::vector<gen::edge64> edges,
+                                      const config& cfg) {
+  serial_graph g;
+  if (cfg.undirected) gen::symmetrize(edges);
+  if (cfg.remove_self_loops) {
+    std::erase_if(edges, [](const gen::edge64& e) { return e.src == e.dst; });
+  }
+  std::sort(edges.begin(), edges.end(), gen::by_src_dst{});
+  if (cfg.remove_duplicates) {
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  }
+  std::uint64_t max_id = 0;
+  for (const auto& e : edges) {
+    max_id = std::max({max_id, e.src, e.dst});
+  }
+  g.adj_.resize(edges.empty() ? 0 : max_id + 1);
+  for (const auto& e : edges) {
+    g.adj_[e.src].push_back(e.dst);
+  }
+  g.num_edges_ = edges.size();
+  return g;
+}
+
+bool serial_graph::has_edge(std::uint64_t u, std::uint64_t v) const {
+  const auto& nb = adj_[u];
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+std::vector<std::uint64_t> serial_bfs(const serial_graph& g,
+                                      std::uint64_t source) {
+  constexpr auto kInf = std::numeric_limits<std::uint64_t>::max();
+  std::vector<std::uint64_t> level(g.num_vertices(), kInf);
+  if (source >= g.num_vertices()) return level;
+  std::deque<std::uint64_t> frontier{source};
+  level[source] = 0;
+  while (!frontier.empty()) {
+    const auto v = frontier.front();
+    frontier.pop_front();
+    for (const auto n : g.neighbors(v)) {
+      if (level[n] == kInf) {
+        level[n] = level[v] + 1;
+        frontier.push_back(n);
+      }
+    }
+  }
+  return level;
+}
+
+std::vector<std::uint64_t> serial_sssp(const serial_graph& g,
+                                       std::uint64_t source,
+                                       std::uint32_t max_weight) {
+  constexpr auto kInf = std::numeric_limits<std::uint64_t>::max();
+  std::vector<std::uint64_t> dist(g.num_vertices(), kInf);
+  if (source >= g.num_vertices()) return dist;
+  using entry = std::pair<std::uint64_t, std::uint64_t>;  // (dist, vertex)
+  std::priority_queue<entry, std::vector<entry>, std::greater<>> pq;
+  dist[source] = 0;
+  pq.push({0, source});
+  while (!pq.empty()) {
+    const auto [d, v] = pq.top();
+    pq.pop();
+    if (d != dist[v]) continue;
+    for (const auto n : g.neighbors(v)) {
+      const std::uint64_t nd =
+          d + graph::edge_weight_of(v, n, max_weight);
+      if (nd < dist[n]) {
+        dist[n] = nd;
+        pq.push({nd, n});
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<bool> serial_kcore(const serial_graph& g, std::uint32_t k) {
+  std::vector<std::uint64_t> deg(g.num_vertices());
+  std::vector<bool> alive(g.num_vertices(), true);
+  std::deque<std::uint64_t> to_remove;
+  for (std::uint64_t v = 0; v < g.num_vertices(); ++v) {
+    deg[v] = g.degree(v);
+    if (deg[v] < k) {
+      alive[v] = false;
+      to_remove.push_back(v);
+    }
+  }
+  while (!to_remove.empty()) {
+    const auto v = to_remove.front();
+    to_remove.pop_front();
+    for (const auto n : g.neighbors(v)) {
+      if (!alive[n]) continue;
+      if (--deg[n] < k) {
+        alive[n] = false;
+        to_remove.push_back(n);
+      }
+    }
+  }
+  return alive;
+}
+
+std::uint64_t serial_triangle_count(const serial_graph& g) {
+  // Node iterator with ordered wedges: count (a < b < c) with all edges.
+  std::uint64_t count = 0;
+  for (std::uint64_t b = 0; b < g.num_vertices(); ++b) {
+    const auto& nb = g.neighbors(b);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      if (nb[i] >= b) break;  // want a < b (neighbors sorted)
+      for (std::size_t j = i + 1; j < nb.size(); ++j) {
+        if (nb[j] >= b) break;
+        if (g.has_edge(nb[i], nb[j])) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+std::vector<std::uint64_t> serial_components(const serial_graph& g) {
+  constexpr auto kUnset = std::numeric_limits<std::uint64_t>::max();
+  std::vector<std::uint64_t> label(g.num_vertices(), kUnset);
+  for (std::uint64_t v = 0; v < g.num_vertices(); ++v) {
+    if (label[v] != kUnset) continue;
+    // BFS flood with label v (ids ascend, so v is its component minimum
+    // among unvisited starts — for undirected graphs).
+    std::deque<std::uint64_t> frontier{v};
+    label[v] = v;
+    while (!frontier.empty()) {
+      const auto u = frontier.front();
+      frontier.pop_front();
+      for (const auto n : g.neighbors(u)) {
+        if (label[n] == kUnset) {
+          label[n] = v;
+          frontier.push_back(n);
+        }
+      }
+    }
+  }
+  return label;
+}
+
+std::vector<double> serial_pagerank(const serial_graph& g, double damping,
+                                    double tolerance) {
+  const auto n = g.num_vertices();
+  std::vector<double> p(n, 1.0);  // any start; fixpoint is unique
+  std::vector<double> next(n, 0.0);
+  for (int iter = 0; iter < 10000; ++iter) {
+    std::fill(next.begin(), next.end(), 1.0 - damping);
+    for (std::uint64_t u = 0; u < n; ++u) {
+      const auto deg = g.degree(u);
+      if (deg == 0) continue;  // dangling: mass dropped, as in the push
+      const double share = damping * p[u] / static_cast<double>(deg);
+      for (const auto v : g.neighbors(u)) next[v] += share;
+    }
+    double l1 = 0;
+    for (std::uint64_t v = 0; v < n; ++v) l1 += std::abs(next[v] - p[v]);
+    p.swap(next);
+    if (l1 < tolerance) break;
+  }
+  return p;
+}
+
+std::uint64_t serial_bfs_depth(const serial_graph& g, std::uint64_t source) {
+  const auto levels = serial_bfs(g, source);
+  std::uint64_t depth = 0;
+  for (const auto l : levels) {
+    if (l != std::numeric_limits<std::uint64_t>::max()) {
+      depth = std::max(depth, l);
+    }
+  }
+  return depth;
+}
+
+}  // namespace sfg::reference

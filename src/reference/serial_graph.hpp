@@ -1,0 +1,84 @@
+/// \file serial_graph.hpp
+/// Single-threaded reference graph + textbook algorithm implementations.
+/// These exist to *validate* the distributed asynchronous algorithms: every
+/// distributed result in the test suite is checked against these, and the
+/// benches use them as the in-memory sequential baseline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gen/edge.hpp"
+
+namespace sfg::reference {
+
+class serial_graph {
+ public:
+  struct config {
+    bool undirected = true;
+    bool remove_self_loops = true;
+    bool remove_duplicates = true;
+  };
+
+  /// Build from a raw edge list with the same cleanup the distributed
+  /// builder applies.  Vertex ids are used as indices: the graph spans
+  /// [0, max_id].
+  static serial_graph from_edges(std::vector<gen::edge64> edges,
+                                 const config& cfg);
+  static serial_graph from_edges(std::vector<gen::edge64> edges) {
+    return from_edges(std::move(edges), config{});
+  }
+
+  [[nodiscard]] std::uint64_t num_vertices() const noexcept {
+    return static_cast<std::uint64_t>(adj_.size());
+  }
+  [[nodiscard]] std::uint64_t num_edges() const noexcept { return num_edges_; }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& neighbors(
+      std::uint64_t v) const {
+    return adj_[v];
+  }
+  [[nodiscard]] std::uint64_t degree(std::uint64_t v) const {
+    return adj_[v].size();
+  }
+
+  /// True if (u, v) is an edge (neighbors are sorted; binary search).
+  [[nodiscard]] bool has_edge(std::uint64_t u, std::uint64_t v) const;
+
+ private:
+  std::vector<std::vector<std::uint64_t>> adj_;
+  std::uint64_t num_edges_ = 0;  ///< directed edge count
+};
+
+/// BFS levels from `source`; unreachable = UINT64_MAX.
+std::vector<std::uint64_t> serial_bfs(const serial_graph& g,
+                                      std::uint64_t source);
+
+/// Dijkstra with the same synthetic weights the distributed builder makes:
+/// weight(u, v) = edge_weight_of(u, v, max_weight).
+std::vector<std::uint64_t> serial_sssp(const serial_graph& g,
+                                       std::uint64_t source,
+                                       std::uint32_t max_weight);
+
+/// K-core membership by iterative peeling; true = in the k-core.
+std::vector<bool> serial_kcore(const serial_graph& g, std::uint32_t k);
+
+/// Exact triangle count (node-iterator with ordered wedges).
+std::uint64_t serial_triangle_count(const serial_graph& g);
+
+/// Connected component labels: label[v] = smallest vertex id in v's
+/// component.
+std::vector<std::uint64_t> serial_components(const serial_graph& g);
+
+/// Longest shortest path observed from `source` (BFS eccentricity) —
+/// used by the diameter-effect experiments (paper Fig. 10).
+std::uint64_t serial_bfs_depth(const serial_graph& g, std::uint64_t source);
+
+/// PageRank by power iteration to `tolerance` (L1 step change), with the
+/// same unnormalized fixpoint the distributed push algorithm uses:
+///   p(v) = (1 - damping) + damping * sum_{u->v} p(u) / deg(u),
+/// dangling mass dropped.
+std::vector<double> serial_pagerank(const serial_graph& g, double damping,
+                                    double tolerance);
+
+}  // namespace sfg::reference

@@ -1,0 +1,60 @@
+/// \file barrier.hpp
+/// A reusable barrier that can be *poisoned*: if any rank fails (throws),
+/// it poisons the barrier so every other rank unblocks with an exception
+/// instead of deadlocking.  std::barrier cannot do this, and a hung test
+/// suite is far worse than a failed one.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+
+namespace sfg::runtime {
+
+/// Thrown by waiters when the barrier has been poisoned by a failing rank.
+class barrier_poisoned : public std::runtime_error {
+ public:
+  barrier_poisoned() : std::runtime_error("sfg runtime barrier poisoned") {}
+};
+
+class poison_barrier {
+ public:
+  explicit poison_barrier(int participants) : count_(participants) {}
+
+  poison_barrier(const poison_barrier&) = delete;
+  poison_barrier& operator=(const poison_barrier&) = delete;
+
+  /// Block until all participants arrive.  Throws barrier_poisoned if any
+  /// participant poisons the barrier (now or while waiting).
+  void arrive_and_wait() {
+    std::unique_lock lock(mu_);
+    if (poisoned_) throw barrier_poisoned();
+    const std::uint64_t my_generation = generation_;
+    if (++waiting_ == count_) {
+      waiting_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [&] { return generation_ != my_generation || poisoned_; });
+    if (poisoned_) throw barrier_poisoned();
+  }
+
+  /// Mark the barrier broken and wake all waiters.
+  void poison() {
+    const std::scoped_lock lock(mu_);
+    poisoned_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int count_;
+  int waiting_ = 0;
+  std::uint64_t generation_ = 0;
+  bool poisoned_ = false;
+};
+
+}  // namespace sfg::runtime

@@ -1,0 +1,90 @@
+#include "runtime/comm.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <thread>
+
+namespace sfg::runtime {
+
+world::world(int num_ranks, net_params net)
+    : coll_slots_(static_cast<std::size_t>(num_ranks)),
+      barrier_(num_ranks),
+      net_(net) {
+  if (num_ranks <= 0) throw std::invalid_argument("world: num_ranks must be > 0");
+  endpoints_.reserve(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    endpoints_.push_back(std::make_unique<endpoint>());
+  }
+  comms_.reserve(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    comms_.push_back(std::make_unique<comm>(*this, r));
+  }
+}
+
+world::~world() = default;
+
+comm& world::rank_comm(int rank) {
+  assert(rank >= 0 && rank < size());
+  return *comms_[static_cast<std::size_t>(rank)];
+}
+
+void world::poison() { barrier_.poison(); }
+
+comm::comm(world& w, int rank)
+    : world_(&w),
+      rank_(rank),
+      sent_per_dest_(static_cast<std::size_t>(w.size()), 0) {}
+
+void comm::send(int dest, int tag, std::span<const std::byte> data) {
+  assert(dest >= 0 && dest < size());
+  if (world_->net_.enabled()) {
+    // Charge the sender the modeled injection cost; sleeping lets other
+    // rank threads progress, like DMA overlapping computation.
+    std::this_thread::sleep_for(world_->net_.per_message +
+                                world_->net_.per_byte *
+                                    static_cast<std::int64_t>(data.size()));
+  }
+  auto& ep = *world_->endpoints_[static_cast<std::size_t>(dest)];
+  message m;
+  m.source = rank_;
+  m.tag = tag;
+  m.payload.assign(data.begin(), data.end());
+  {
+    const std::scoped_lock lock(ep.mu);
+    ep.inbox.push_back(std::move(m));
+  }
+  ++stats_.messages_sent;
+  stats_.bytes_sent += data.size();
+  ++sent_per_dest_[static_cast<std::size_t>(dest)];
+}
+
+bool comm::try_recv(message& out) {
+  auto& ep = *world_->endpoints_[static_cast<std::size_t>(rank_)];
+  const std::scoped_lock lock(ep.mu);
+  if (ep.inbox.empty()) return false;
+  out = std::move(ep.inbox.front());
+  ep.inbox.pop_front();
+  ++stats_.messages_received;
+  stats_.bytes_received += out.payload.size();
+  return true;
+}
+
+bool comm::inbox_empty() const {
+  auto& ep = *world_->endpoints_[static_cast<std::size_t>(rank_)];
+  const std::scoped_lock lock(ep.mu);
+  return ep.inbox.empty();
+}
+
+void comm::publish(const void* data, std::size_t bytes) {
+  world_->coll_slots_[static_cast<std::size_t>(rank_)] = {data, bytes};
+  barrier();
+}
+
+void comm::barrier() { world_->barrier_.arrive_and_wait(); }
+
+void comm::reset_stats() {
+  stats_ = traffic_stats{};
+  sent_per_dest_.assign(sent_per_dest_.size(), 0);
+}
+
+}  // namespace sfg::runtime

@@ -1,0 +1,42 @@
+/// \file message.hpp
+/// The unit of point-to-point communication in the sfg runtime.
+///
+/// The paper's implementation used "only non-blocking point-to-point MPI
+/// communication" (§VII-A).  This repo has no MPI available (see
+/// DESIGN.md §2), so `sfg::runtime` reproduces those semantics in-process:
+/// a message is posted to the destination rank's inbox and picked up
+/// whenever that rank polls — sends never block, receives never wait.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace sfg::runtime {
+
+struct message {
+  int source = -1;
+  int tag = 0;
+  std::vector<std::byte> payload;
+
+  /// Decode the payload as a trivially copyable value.
+  template <typename T>
+  [[nodiscard]] T as() const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T out;
+    std::memcpy(&out, payload.data(), sizeof(T));
+    return out;
+  }
+};
+
+/// View a trivially copyable value as bytes for sending.
+template <typename T>
+std::span<const std::byte> as_bytes_of(const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(&v), sizeof(T));
+}
+
+}  // namespace sfg::runtime

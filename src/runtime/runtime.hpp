@@ -1,0 +1,36 @@
+/// \file runtime.hpp
+/// SPMD entry point: run one function on every rank of a fresh world, one
+/// OS thread per rank, and propagate the first failure.
+///
+/// Usage:
+///   sfg::runtime::launch(8, [](sfg::runtime::comm& c) {
+///     ... c.rank(), c.send(...), c.all_reduce(...) ...
+///   });
+#pragma once
+
+#include <functional>
+
+#include "runtime/comm.hpp"
+
+namespace sfg::runtime {
+
+/// Run `rank_main` on `num_ranks` ranks (threads) and join them all.
+/// If any rank throws, the world is poisoned so blocked ranks unwind, and
+/// the first exception is rethrown on the calling thread.
+/// `net` optionally injects a simulated interconnect cost per send.
+void launch(int num_ranks, const std::function<void(comm&)>& rank_main,
+            net_params net = {});
+
+/// As launch(), but returns one value per rank (rank order).  Handy for
+/// tests and benches that want per-rank results back on the driver thread.
+template <typename T>
+std::vector<T> launch_gather(int num_ranks,
+                             const std::function<T(comm&)>& rank_main) {
+  std::vector<T> results(static_cast<std::size_t>(num_ranks));
+  launch(num_ranks, [&](comm& c) {
+    results[static_cast<std::size_t>(c.rank())] = rank_main(c);
+  });
+  return results;
+}
+
+}  // namespace sfg::runtime

@@ -1,0 +1,284 @@
+#include "runtime/termination.hpp"
+
+#include <atomic>
+#include <cassert>
+#include <vector>
+
+namespace sfg::runtime {
+
+// ---------------------------------------------------------------------------
+// tree_termination
+// ---------------------------------------------------------------------------
+
+tree_termination::tree_termination(comm& c, int control_tag)
+    : comm_(&c), tag_(control_tag) {}
+
+int tree_termination::num_children() const noexcept {
+  const int r = comm_->rank();
+  const int p = comm_->size();
+  int n = 0;
+  if (2 * r + 1 < p) ++n;
+  if (2 * r + 2 < p) ++n;
+  return n;
+}
+
+void tree_termination::send_control(int dest, const control_msg& m) {
+  comm_->send_value(dest, tag_, m);
+}
+
+void tree_termination::begin_wave(std::uint32_t wave) {
+  current_wave_ = wave;
+  child_reports_ = 0;
+  child_sent_sum_ = 0;
+  child_recv_sum_ = 0;
+  const int r = comm_->rank();
+  const int p = comm_->size();
+  const control_msg req{msg_kind::wave_req, wave, 0, 0};
+  if (2 * r + 1 < p) send_control(2 * r + 1, req);
+  if (2 * r + 2 < p) send_control(2 * r + 2, req);
+}
+
+void tree_termination::on_message(const message& m) {
+  assert(m.tag == tag_);
+  const auto cm = m.as<control_msg>();
+  switch (cm.kind) {
+    case msg_kind::wave_req:
+      // Parent started a new wave; (re)initialize our collection state and
+      // propagate down.  Waves are strictly sequential, so any state from
+      // the previous wave is complete by construction.
+      begin_wave(cm.wave);
+      break;
+    case msg_kind::wave_report:
+      // A child's aggregate for the current wave.
+      assert(cm.wave == current_wave_);
+      ++child_reports_;
+      child_sent_sum_ += cm.sent;
+      child_recv_sum_ += cm.recv;
+      break;
+    case msg_kind::done:
+      finished_ = true;
+      flood_done();
+      break;
+  }
+}
+
+void tree_termination::try_report(std::uint64_t local_sent,
+                                  std::uint64_t local_recv,
+                                  bool locally_idle) {
+  if (current_wave_ == 0 || reported_wave_ >= current_wave_) return;
+  if (!locally_idle) return;
+  if (child_reports_ < num_children()) return;
+
+  const std::uint64_t sent = local_sent + child_sent_sum_;
+  const std::uint64_t recv = local_recv + child_recv_sum_;
+  reported_wave_ = current_wave_;
+  ++completed_waves_;
+
+  if (comm_->rank() == 0) {
+    wave_sent_total_ = sent;
+    wave_recv_total_ = recv;
+    root_wave_complete_ = true;
+  } else {
+    send_control(parent(),
+                 {msg_kind::wave_report, current_wave_, sent, recv});
+  }
+}
+
+void tree_termination::finalize_root_wave() {
+  if (!root_wave_complete_) return;
+  root_wave_complete_ = false;
+
+  const bool balanced = wave_sent_total_ == wave_recv_total_;
+  const bool stable = have_prev_totals_ &&
+                      prev_sent_total_ == wave_sent_total_ &&
+                      prev_recv_total_ == wave_recv_total_;
+  if (balanced && stable) {
+    finished_ = true;
+    flood_done();
+    return;
+  }
+  prev_sent_total_ = wave_sent_total_;
+  prev_recv_total_ = wave_recv_total_;
+  have_prev_totals_ = true;
+  begin_wave(current_wave_ + 1);
+}
+
+void tree_termination::flood_done() {
+  const int r = comm_->rank();
+  const int p = comm_->size();
+  const control_msg done{msg_kind::done, current_wave_, 0, 0};
+  if (2 * r + 1 < p) send_control(2 * r + 1, done);
+  if (2 * r + 2 < p) send_control(2 * r + 2, done);
+}
+
+bool tree_termination::poll(std::uint64_t local_sent, std::uint64_t local_recv,
+                            bool locally_idle) {
+  if (finished_) return true;
+  if (comm_->rank() == 0 && current_wave_ == 0) {
+    begin_wave(1);
+  }
+  try_report(local_sent, local_recv, locally_idle);
+  if (comm_->rank() == 0) finalize_root_wave();
+  return finished_;
+}
+
+// ---------------------------------------------------------------------------
+// safra_termination
+// ---------------------------------------------------------------------------
+
+safra_termination::safra_termination(comm& c, int control_tag)
+    : comm_(&c), tag_(control_tag) {
+  // Rank 0 initiates: it "has" a fresh white token from the start.
+  if (c.rank() == 0) have_token_ = true;
+  if (c.size() == 1) {
+    // Degenerate ring: poll() decides locally.
+  }
+}
+
+void safra_termination::on_message(const message& m) {
+  assert(m.tag == tag_);
+  const auto tm = m.as<token_msg>();
+  if (tm.kind == msg_kind::done) {
+    finished_ = true;
+    // Forward the announcement once around the ring.
+    if (comm_->rank() + 1 < comm_->size()) {
+      comm_->send_value(comm_->rank() + 1, tag_, tm);
+    }
+    return;
+  }
+  token_ = tm;
+  have_token_ = true;
+}
+
+void safra_termination::forward_token(std::uint64_t local_sent,
+                                      std::uint64_t local_recv) {
+  const int p = comm_->size();
+  token_msg out = token_;
+  out.deficit += static_cast<std::int64_t>(local_sent) -
+                 static_cast<std::int64_t>(local_recv);
+  if (my_color_ == color::black) out.col = color::black;
+  // Safra rule: a machine whitens itself after forwarding the token.
+  my_color_ = color::white;
+  have_token_ = false;
+
+  if (comm_->rank() == p - 1) {
+    // Back to the initiator.
+    comm_->send_value(0, tag_, out);
+  } else {
+    comm_->send_value(comm_->rank() + 1, tag_, out);
+  }
+}
+
+bool safra_termination::poll(std::uint64_t local_sent,
+                             std::uint64_t local_recv, bool locally_idle) {
+  if (finished_) return true;
+
+  // Receiving any work since the last poll taints this rank black
+  // (Safra: "on receipt of a basic message, machine becomes black").
+  if (local_recv != last_seen_recv_) {
+    my_color_ = color::black;
+    last_seen_recv_ = local_recv;
+  }
+  if (!locally_idle || !have_token_) return false;
+
+  if (comm_->size() == 1) {
+    // Single rank: idle with balanced counters is termination.
+    if (local_sent == local_recv) {
+      finished_ = true;
+      ++rounds_;
+    }
+    return finished_;
+  }
+
+  if (comm_->rank() == 0) {
+    // Initiator.  A token in hand is either the pre-round pseudo-token
+    // (nothing to evaluate yet) or one that completed a full loop.
+    if (!initial_token_) {
+      ++rounds_;
+      const std::int64_t total =
+          token_.deficit + static_cast<std::int64_t>(local_sent) -
+          static_cast<std::int64_t>(local_recv);
+      if (token_.col == color::white && my_color_ == color::white &&
+          total == 0) {
+        finished_ = true;
+        comm_->send_value(1, tag_, token_msg{msg_kind::done, color::white, 0});
+        return true;
+      }
+    }
+    // Start the next round: whiten, send a fresh white token with zero
+    // accumulated deficit (our own is added at evaluation time).
+    initial_token_ = false;
+    my_color_ = color::white;
+    have_token_ = false;
+    comm_->send_value(1, tag_, token_msg{msg_kind::token, color::white, 0});
+    return false;
+  }
+
+  forward_token(local_sent, local_recv);
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// shared_term_oracle
+// ---------------------------------------------------------------------------
+
+struct shared_term_oracle::shared_state {
+  explicit shared_state(int p)
+      : sent(static_cast<std::size_t>(p)),
+        recv(static_cast<std::size_t>(p)),
+        idle(static_cast<std::size_t>(p)) {
+    for (std::size_t i = 0; i < sent.size(); ++i) {
+      sent[i].store(0, std::memory_order_relaxed);
+      recv[i].store(0, std::memory_order_relaxed);
+      idle[i].store(0, std::memory_order_relaxed);
+    }
+  }
+  std::vector<std::atomic<std::uint64_t>> sent;
+  std::vector<std::atomic<std::uint64_t>> recv;
+  std::vector<std::atomic<int>> idle;
+};
+
+shared_term_oracle::shared_term_oracle(comm& c) : comm_(&c) {
+  if (c.rank() == 0) state_ = std::make_shared<shared_state>(c.size());
+  // Hand every rank a copy of root's shared_ptr.  The trailing barrier
+  // keeps root's object alive until every rank holds a reference.
+  auto* root_sp = c.broadcast(&state_, 0);
+  if (c.rank() != 0) state_ = *root_sp;
+  c.barrier();
+}
+
+bool shared_term_oracle::poll(std::uint64_t local_sent,
+                              std::uint64_t local_recv, bool locally_idle) {
+  if (finished_) return true;
+  const auto r = static_cast<std::size_t>(comm_->rank());
+  state_->sent[r].store(local_sent, std::memory_order_seq_cst);
+  state_->recv[r].store(local_recv, std::memory_order_seq_cst);
+  state_->idle[r].store(locally_idle ? 1 : 0, std::memory_order_seq_cst);
+  if (!locally_idle) {
+    candidate_ = false;
+    return false;
+  }
+
+  std::uint64_t s = 0;
+  std::uint64_t v = 0;
+  bool all_idle = true;
+  for (std::size_t i = 0; i < state_->sent.size(); ++i) {
+    s += state_->sent[i].load(std::memory_order_seq_cst);
+    v += state_->recv[i].load(std::memory_order_seq_cst);
+    all_idle = all_idle && state_->idle[i].load(std::memory_order_seq_cst) == 1;
+  }
+  if (!all_idle || s != v) {
+    candidate_ = false;
+    return false;
+  }
+  if (candidate_ && candidate_sent_ == s && candidate_recv_ == v) {
+    finished_ = true;
+    return true;
+  }
+  candidate_ = true;
+  candidate_sent_ = s;
+  candidate_recv_ = v;
+  return false;
+}
+
+}  // namespace sfg::runtime

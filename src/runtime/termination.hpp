@@ -1,0 +1,167 @@
+/// \file termination.hpp
+/// Quiescence (termination) detection for asynchronous traversals — the
+/// paper's `global_empty()` (Algorithm 1, line 28), implemented with
+/// Mattern's counting method [Mattern 1987] over an asynchronous binary
+/// tree reduction of (visitors sent, visitors received), using only
+/// non-blocking point-to-point messages.
+///
+/// Protocol (four-counter / double-wave):
+///   * The root starts wave w by sending WAVE_REQ(w) down the tree.
+///   * A rank contributes to wave w only when it is *locally idle*; its
+///     report aggregates its own exact counters with its children's.
+///   * The root compares wave w's totals with wave w-1's: if
+///     S(w-1) == R(w-1) == S(w) == R(w), no visitor activity spanned the
+///     two waves, so the system is globally quiescent; DONE floods down.
+///   * Otherwise the root starts wave w+1.  Checking for non-termination
+///     is fully asynchronous; only the final confirmation is "synchronous"
+///     in the sense that all queues are already empty (paper §V).
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/comm.hpp"
+
+namespace sfg::runtime {
+
+class tree_termination {
+ public:
+  /// `control_tag` is the message tag reserved for this detector; the
+  /// owner's poll loop must route messages with that tag to on_message().
+  tree_termination(comm& c, int control_tag);
+
+  /// Feed one control message (tag must equal control_tag).
+  void on_message(const message& m);
+
+  /// Drive the protocol.  `local_sent` / `local_recv` are the caller's
+  /// exact counters of work units originated / consumed by this rank;
+  /// `locally_idle` means: no queued work, nothing buffered for sending.
+  /// Returns true once global termination has been detected (and will
+  /// return true forever after).  Every rank eventually returns true.
+  bool poll(std::uint64_t local_sent, std::uint64_t local_recv,
+            bool locally_idle);
+
+  [[nodiscard]] bool finished() const noexcept { return finished_; }
+
+  /// Number of completed waves; exposed for tests and stats.
+  [[nodiscard]] std::uint32_t waves_completed() const noexcept {
+    return completed_waves_;
+  }
+
+ private:
+  enum class msg_kind : std::uint8_t { wave_req = 1, wave_report = 2, done = 3 };
+
+  struct control_msg {
+    msg_kind kind;
+    std::uint32_t wave;
+    std::uint64_t sent;
+    std::uint64_t recv;
+  };
+
+  void send_control(int dest, const control_msg& m);
+  void begin_wave(std::uint32_t wave);
+  void try_report(std::uint64_t local_sent, std::uint64_t local_recv,
+                  bool locally_idle);
+  void finalize_root_wave();
+  void flood_done();
+
+  [[nodiscard]] int parent() const noexcept { return (comm_->rank() - 1) / 2; }
+  [[nodiscard]] int num_children() const noexcept;
+
+  comm* comm_;
+  int tag_;
+
+  bool finished_ = false;
+  std::uint32_t current_wave_ = 0;   // wave being collected (0 = none)
+  std::uint32_t reported_wave_ = 0;  // last wave this rank reported up
+  int child_reports_ = 0;
+  std::uint64_t child_sent_sum_ = 0;
+  std::uint64_t child_recv_sum_ = 0;
+
+  // root only:
+  bool have_prev_totals_ = false;
+  std::uint64_t prev_sent_total_ = 0;
+  std::uint64_t prev_recv_total_ = 0;
+  std::uint64_t wave_sent_total_ = 0;
+  std::uint64_t wave_recv_total_ = 0;
+  bool root_wave_complete_ = false;
+
+  std::uint32_t completed_waves_ = 0;
+};
+
+/// Dijkstra–Safra ring-token termination detection — a second
+/// message-based detector from the classic literature the paper cites
+/// ([12] Mattern's survey).  A token circulates the ring accumulating
+/// each rank's (sent - received) deficit; a rank that received work since
+/// it last forwarded the token taints it black.  The initiator declares
+/// termination when a white token returns with a zero global deficit and
+/// the initiator itself stayed white.  Integer-only, O(1) state per rank,
+/// one token message per rank per round.
+///
+/// Provided alongside tree_termination both as an alternative (rings cost
+/// p hops per wave but need no tree fan-in state) and as an independent
+/// implementation to cross-check in tests.
+class safra_termination {
+ public:
+  safra_termination(comm& c, int control_tag);
+
+  /// Feed one control message (tag must equal control_tag).
+  void on_message(const message& m);
+
+  /// Same contract as tree_termination::poll.
+  bool poll(std::uint64_t local_sent, std::uint64_t local_recv,
+            bool locally_idle);
+
+  [[nodiscard]] bool finished() const noexcept { return finished_; }
+  [[nodiscard]] std::uint32_t rounds_completed() const noexcept {
+    return rounds_;
+  }
+
+ private:
+  enum class msg_kind : std::uint8_t { token = 1, done = 2 };
+  enum class color : std::uint8_t { white = 0, black = 1 };
+
+  struct token_msg {
+    msg_kind kind;
+    color col;
+    std::int64_t deficit;
+  };
+
+  void forward_token(std::uint64_t local_sent, std::uint64_t local_recv);
+
+  comm* comm_;
+  int tag_;
+  bool finished_ = false;
+  bool have_token_ = false;
+  bool initial_token_ = true;  ///< initiator's pre-round pseudo-token
+  token_msg token_{msg_kind::token, color::white, 0};
+  color my_color_ = color::white;
+  std::uint64_t last_seen_recv_ = 0;
+  std::uint32_t rounds_ = 0;
+};
+
+/// Shared-memory termination oracle for *tests only*: publishes each
+/// rank's counters in a shared atomic array and scans for a stable
+/// all-idle, sent==received snapshot (two identical scans).  This is a
+/// heuristic cross-check for tree_termination, not a protocol — it
+/// exploits the in-process address space, which real MPI would not have.
+class shared_term_oracle {
+ public:
+  /// Collective constructor: all ranks of `c` must construct together.
+  explicit shared_term_oracle(comm& c);
+
+  /// Same contract as tree_termination::poll.
+  bool poll(std::uint64_t local_sent, std::uint64_t local_recv,
+            bool locally_idle);
+
+ private:
+  struct shared_state;
+
+  comm* comm_;
+  std::shared_ptr<shared_state> state_;
+  bool finished_ = false;
+  bool candidate_ = false;
+  std::uint64_t candidate_sent_ = 0;
+  std::uint64_t candidate_recv_ = 0;
+};
+
+}  // namespace sfg::runtime

@@ -1,0 +1,38 @@
+/// \file mmap_device.hpp
+/// Memory-mapped file device: reads are memcpy from the kernel mapping,
+/// writes go through the mapping with explicit msync on request.  This is
+/// the storage backend HavoqGT itself uses for prepared graphs (mmap over
+/// DI-MMAP / tmpfs); here it complements file_device (pread/pwrite) and
+/// sim_nvram_device (latency model) as the third block_device backend.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "storage/block_device.hpp"
+
+namespace sfg::storage {
+
+class mmap_device final : public block_device {
+ public:
+  /// Map `path`, creating/growing it to `size_bytes` if needed.
+  mmap_device(const std::string& path, std::uint64_t size_bytes);
+  ~mmap_device() override;
+
+  mmap_device(const mmap_device&) = delete;
+  mmap_device& operator=(const mmap_device&) = delete;
+
+  void read(std::uint64_t offset, std::span<std::byte> out) override;
+  void write(std::uint64_t offset, std::span<const std::byte> data) override;
+  [[nodiscard]] std::uint64_t size_bytes() const override { return size_; }
+
+  /// Flush dirty pages of the mapping to the file.
+  void sync();
+
+ private:
+  int fd_ = -1;
+  std::byte* map_ = nullptr;
+  std::uint64_t size_ = 0;
+};
+
+}  // namespace sfg::storage

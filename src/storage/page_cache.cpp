@@ -1,0 +1,188 @@
+#include "storage/page_cache.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace sfg::storage {
+
+page_cache::page_cache(block_device& dev, config cfg)
+    : dev_(&dev), cfg_(cfg), frames_(cfg.num_frames) {
+  if (cfg.page_size == 0 || cfg.num_frames == 0) {
+    throw std::invalid_argument("page_cache: page_size and num_frames must be > 0");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// page_ref
+// ---------------------------------------------------------------------------
+
+page_cache::page_ref::page_ref(page_ref&& other) noexcept
+    : cache_(other.cache_), frame_(other.frame_), page_id_(other.page_id_) {
+  other.cache_ = nullptr;
+}
+
+page_cache::page_ref& page_cache::page_ref::operator=(
+    page_ref&& other) noexcept {
+  if (this != &other) {
+    if (cache_ != nullptr) cache_->unpin(frame_);
+    cache_ = other.cache_;
+    frame_ = other.frame_;
+    page_id_ = other.page_id_;
+    other.cache_ = nullptr;
+  }
+  return *this;
+}
+
+page_cache::page_ref::~page_ref() {
+  if (cache_ != nullptr) cache_->unpin(frame_);
+}
+
+std::span<const std::byte> page_cache::page_ref::data() const {
+  assert(valid());
+  // Safe without the cache lock: pinned frames are never evicted,
+  // reloaded, or resized.
+  return cache_->frames_[frame_].data;
+}
+
+std::span<std::byte> page_cache::page_ref::mutable_data() {
+  assert(valid());
+  cache_->mark_dirty(frame_);
+  return cache_->frames_[frame_].data;
+}
+
+// ---------------------------------------------------------------------------
+// page_cache
+// ---------------------------------------------------------------------------
+
+std::size_t page_cache::find_victim_locked() {
+  // CLOCK / second chance: two sweeps are enough — the first clears
+  // reference bits, the second must find any unpinned frame.
+  for (std::size_t scanned = 0; scanned < 2 * frames_.size(); ++scanned) {
+    const std::size_t idx = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % frames_.size();
+    frame& f = frames_[idx];
+    if (f.pins > 0 || f.loading) continue;
+    if (f.referenced) {
+      f.referenced = false;
+      continue;
+    }
+    return idx;
+  }
+  return frames_.size();  // everything pinned or loading
+}
+
+page_cache::page_ref page_cache::get(std::uint64_t page_id) {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    if (const auto it = page_to_frame_.find(page_id);
+        it != page_to_frame_.end()) {
+      frame& f = frames_[it->second];
+      if (f.loading) {
+        // Another thread is faulting this page in (or writing it back);
+        // wait for the I/O to finish, then re-check.
+        cv_.wait(lock);
+        continue;
+      }
+      ++f.pins;
+      f.referenced = true;
+      ++stats_.hits;
+      return page_ref(this, it->second, page_id);
+    }
+
+    const std::size_t v = find_victim_locked();
+    if (v == frames_.size()) {
+      cv_.wait(lock);  // all frames pinned/loading; wait for an unpin
+      continue;
+    }
+    frame& f = frames_[v];
+
+    if (f.page_id != kNoPage && f.dirty) {
+      // Write back the victim without holding the lock.  The frame is
+      // marked loading so nobody evicts/claims it; a copy is written so
+      // the buffer cannot be raced.
+      f.loading = true;
+      f.dirty = false;  // cleared before the write so a concurrent
+                        // re-dirty (impossible here, pins==0, but see
+                        // flush_dirty) is never lost
+      const std::uint64_t old_page = f.page_id;
+      std::vector<std::byte> copy = f.data;
+      lock.unlock();
+      dev_->write(old_page * cfg_.page_size, copy);
+      lock.lock();
+      f.loading = false;
+      ++stats_.writebacks;
+      cv_.notify_all();
+      continue;  // state changed while unlocked; restart the search
+    }
+
+    if (f.page_id != kNoPage) {
+      page_to_frame_.erase(f.page_id);
+      ++stats_.evictions;
+    }
+
+    // Claim the frame and fault the page in with the lock released, so
+    // hits (and other misses) proceed concurrently — the high-concurrency
+    // requirement from paper §II-B.
+    f.page_id = page_id;
+    f.loading = true;
+    f.pins = 1;
+    f.referenced = true;
+    f.dirty = false;
+    f.data.assign(cfg_.page_size, std::byte{0});
+    page_to_frame_[page_id] = v;
+    ++stats_.misses;
+    lock.unlock();
+    dev_->read(page_id * cfg_.page_size, f.data);
+    lock.lock();
+    f.loading = false;
+    cv_.notify_all();
+    return page_ref(this, v, page_id);
+  }
+}
+
+void page_cache::unpin(std::size_t frame_idx) {
+  {
+    const std::scoped_lock lock(mu_);
+    frame& f = frames_[frame_idx];
+    assert(f.pins > 0);
+    --f.pins;
+  }
+  cv_.notify_all();
+}
+
+void page_cache::mark_dirty(std::size_t frame_idx) {
+  const std::scoped_lock lock(mu_);
+  assert(frames_[frame_idx].pins > 0);
+  frames_[frame_idx].dirty = true;
+}
+
+void page_cache::flush_dirty() {
+  std::unique_lock lock(mu_);
+  for (std::size_t i = 0; i < frames_.size(); ++i) {
+    frame& f = frames_[i];
+    if (f.page_id == kNoPage || !f.dirty || f.loading) continue;
+    f.loading = true;
+    f.dirty = false;  // cleared first: a pinned writer re-dirtying the
+                      // page during our unlocked write keeps its bit
+    const std::uint64_t page = f.page_id;
+    std::vector<std::byte> copy = f.data;
+    lock.unlock();
+    dev_->write(page * cfg_.page_size, copy);
+    lock.lock();
+    f.loading = false;
+    ++stats_.writebacks;
+    cv_.notify_all();
+  }
+}
+
+page_cache::cache_stats page_cache::stats() const {
+  const std::scoped_lock lock(mu_);
+  return stats_;
+}
+
+void page_cache::reset_stats() {
+  const std::scoped_lock lock(mu_);
+  stats_ = cache_stats{};
+}
+
+}  // namespace sfg::storage

@@ -1,0 +1,107 @@
+/// \file paged_array.hpp
+/// Typed array view over a block device through the page cache — how the
+/// external-memory CSR stores its vertex-offset and adjacency arrays.  A
+/// random access faults in exactly one page; sequential scans keep the
+/// current page pinned (the paper's page-level locality optimization,
+/// §V-A, is what makes visitor ordering by vertex id pay off here).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+
+#include "storage/page_cache.hpp"
+
+namespace sfg::storage {
+
+template <typename T>
+class paged_array {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  /// View `count` elements of type T starting at byte `base_offset` on the
+  /// cache's device.  `base_offset` must be page-aligned and the page size
+  /// a multiple of sizeof(T), so elements never straddle pages.
+  paged_array(page_cache& cache, std::uint64_t base_offset, std::size_t count)
+      : cache_(&cache), base_(base_offset), count_(count) {
+    assert(base_offset % cache.page_size() == 0);
+    assert(cache.page_size() % sizeof(T) == 0);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+
+  /// Random access; one page fault worst case.
+  [[nodiscard]] T operator[](std::size_t i) const {
+    assert(i < count_);
+    const std::uint64_t byte_off = base_ + i * sizeof(T);
+    const std::uint64_t page = byte_off / cache_->page_size();
+    const std::size_t in_page = byte_off % cache_->page_size();
+    const auto ref = cache_->get(page);
+    T out;
+    std::memcpy(&out, ref.data().data() + in_page, sizeof(T));
+    return out;
+  }
+
+  /// Sequential cursor: pins each page once for all its elements.
+  class cursor {
+   public:
+    cursor(const paged_array& arr, std::size_t index)
+        : arr_(&arr), index_(index) {}
+
+    [[nodiscard]] bool done() const noexcept { return index_ >= arr_->count_; }
+    [[nodiscard]] std::size_t index() const noexcept { return index_; }
+
+    /// Current element.  Faults/pins the containing page on first touch.
+    T value() {
+      ensure_page();
+      T out;
+      std::memcpy(&out, page_.data().data() + in_page_, sizeof(T));
+      return out;
+    }
+
+    void advance() {
+      ++index_;
+      in_page_ += sizeof(T);
+      if (in_page_ >= arr_->cache_->page_size()) page_ = {};  // next page
+    }
+
+   private:
+    void ensure_page() {
+      if (page_.valid()) return;
+      const std::uint64_t byte_off = arr_->base_ + index_ * sizeof(T);
+      const std::uint64_t page = byte_off / arr_->cache_->page_size();
+      in_page_ = byte_off % arr_->cache_->page_size();
+      page_ = arr_->cache_->get(page);
+    }
+
+    const paged_array* arr_;
+    std::size_t index_;
+    std::size_t in_page_ = 0;
+    page_cache::page_ref page_;
+  };
+
+  [[nodiscard]] cursor scan(std::size_t begin = 0) const {
+    return cursor(*this, begin);
+  }
+
+  /// Apply `fn(index, value)` to elements [begin, end), page-batched.
+  template <typename Fn>
+  void for_each(std::size_t begin, std::size_t end, Fn&& fn) const {
+    assert(end <= count_);
+    auto cur = scan(begin);
+    while (cur.index() < end) {
+      fn(cur.index(), cur.value());
+      cur.advance();
+    }
+  }
+
+ private:
+  page_cache* cache_;
+  std::uint64_t base_;
+  std::size_t count_;
+};
+
+}  // namespace sfg::storage

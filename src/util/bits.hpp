@@ -1,0 +1,73 @@
+/// \file bits.hpp
+/// Small bit-manipulation helpers shared across modules.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace sfg::util {
+
+/// floor(log2(x)) for x > 0.
+constexpr unsigned log2_floor(std::uint64_t x) noexcept {
+  return 63u - static_cast<unsigned>(std::countl_zero(x));
+}
+
+/// true if x is a power of two (x > 0).
+constexpr bool is_pow2(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// Smallest power of two >= x (x >= 1).
+constexpr std::uint64_t ceil_pow2(std::uint64_t x) noexcept {
+  return std::bit_ceil(x);
+}
+
+/// Integer ceiling division.
+constexpr std::uint64_t div_ceil(std::uint64_t a, std::uint64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+/// Factor `p` into (rows, cols) with rows*cols == p and the pair as close
+/// to square as possible (rows <= cols).  Used by the 2D routed mailbox
+/// and the 2D block-partition imbalance calculator.
+struct grid2d_shape {
+  int rows;
+  int cols;
+};
+
+constexpr grid2d_shape near_square_factors(int p) noexcept {
+  int rows = 1;
+  for (int r = 1; static_cast<std::int64_t>(r) * r <= p; ++r) {
+    if (p % r == 0) rows = r;
+  }
+  return {rows, p / rows};
+}
+
+/// Factor `p` into (x, y, z), x <= y <= z, as close to a cube as possible.
+struct grid3d_shape {
+  int x;
+  int y;
+  int z;
+};
+
+constexpr grid3d_shape near_cube_factors(int p) noexcept {
+  grid3d_shape best{1, 1, p};
+  long best_score = 3L * p;  // perimeter-like score; smaller is more cubic
+  for (int x = 1; x * x * x <= p; ++x) {
+    if (p % x != 0) continue;
+    const int rest = p / x;
+    for (int y = x; static_cast<std::int64_t>(y) * y <= rest; ++y) {
+      if (rest % y != 0) continue;
+      const int z = rest / y;
+      const long score = x + y + z;
+      if (score < best_score) {
+        best_score = score;
+        best = {x, y, z};
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace sfg::util

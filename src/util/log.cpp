@@ -1,0 +1,30 @@
+#include "util/log.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+
+namespace sfg::util {
+
+log_level global_log_level() {
+  static const log_level level = [] {
+    const char* env = std::getenv("SFG_LOG");
+    if (env == nullptr) return log_level::warn;
+    if (std::strcmp(env, "error") == 0) return log_level::error;
+    if (std::strcmp(env, "info") == 0) return log_level::info;
+    if (std::strcmp(env, "debug") == 0) return log_level::debug;
+    return log_level::warn;
+  }();
+  return level;
+}
+
+void log_line(log_level level, const std::string& line) {
+  static std::mutex mu;
+  static const char* names[] = {"ERROR", "WARN", "INFO", "DEBUG"};
+  const std::scoped_lock lock(mu);
+  std::cerr << "[sfg:" << names[static_cast<int>(level)] << "] " << line
+            << '\n';
+}
+
+}  // namespace sfg::util

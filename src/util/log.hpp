@@ -1,0 +1,53 @@
+/// \file log.hpp
+/// Tiny leveled logger.  Thread-safe line-at-a-time output; level selected
+/// via SFG_LOG environment variable (error|warn|info|debug), default warn,
+/// so tests stay quiet and benches can be made chatty without rebuilds.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sfg::util {
+
+enum class log_level { error = 0, warn = 1, info = 2, debug = 3 };
+
+/// The process-wide level (read once from SFG_LOG).
+log_level global_log_level();
+
+/// Thread-safe single-line emit to stderr.
+void log_line(log_level level, const std::string& line);
+
+namespace detail {
+
+class log_stream {
+ public:
+  explicit log_stream(log_level level) : level_(level) {}
+  ~log_stream() { log_line(level_, os_.str()); }
+  log_stream(const log_stream&) = delete;
+  log_stream& operator=(const log_stream&) = delete;
+
+  template <typename T>
+  log_stream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  log_level level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+
+}  // namespace sfg::util
+
+#define SFG_LOG(level)                                        \
+  if (static_cast<int>(level) >                               \
+      static_cast<int>(::sfg::util::global_log_level())) {    \
+  } else                                                      \
+    ::sfg::util::detail::log_stream(level)
+
+#define SFG_LOG_INFO SFG_LOG(::sfg::util::log_level::info)
+#define SFG_LOG_WARN SFG_LOG(::sfg::util::log_level::warn)
+#define SFG_LOG_ERROR SFG_LOG(::sfg::util::log_level::error)
+#define SFG_LOG_DEBUG SFG_LOG(::sfg::util::log_level::debug)

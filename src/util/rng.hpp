@@ -1,0 +1,94 @@
+/// \file rng.hpp
+/// Deterministic, seedable pseudo-random number generation used by all
+/// graph generators and randomized tests.  We avoid std::mt19937 for the
+/// hot generator paths: xoshiro256** is ~4x faster and has well-understood
+/// statistical quality, and splitmix64 gives us cheap stateless stream
+/// splitting (one independent stream per rank / per vertex).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace sfg::util {
+
+/// splitmix64: stateless 64-bit mixer.  Used to expand a single user seed
+/// into independent generator states, and as a cheap hash.
+constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256** by Blackman & Vigna.  State seeded via splitmix64 so any
+/// 64-bit seed (including 0) yields a valid, decorrelated state.
+class xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr xoshiro256(std::uint64_t seed = 1) noexcept {
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x = splitmix64(x);
+      word = x;
+    }
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound).  Lemire's multiply-shift method with
+  /// rejection; unbiased for any bound > 0.
+  constexpr std::uint64_t uniform_below(std::uint64_t bound) noexcept {
+    // 128-bit multiply partition of the 64-bit range into `bound` buckets.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform_real() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  constexpr bool bernoulli(double p) noexcept { return uniform_real() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+/// Derive an independent generator for a (seed, stream) pair; used so each
+/// rank generates its slice of a graph without coordination.
+inline xoshiro256 make_stream(std::uint64_t seed, std::uint64_t stream) {
+  return xoshiro256(splitmix64(seed ^ splitmix64(stream + 0x51ed2701)));
+}
+
+}  // namespace sfg::util

@@ -1,0 +1,82 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/bits.hpp"
+
+namespace sfg::util {
+
+namespace {
+
+template <typename T>
+summary summarize_impl(std::span<const T> values) {
+  summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  double sum = 0;
+  s.min = static_cast<double>(values.front());
+  s.max = s.min;
+  for (const T v : values) {
+    const auto d = static_cast<double>(v);
+    sum += d;
+    s.min = std::min(s.min, d);
+    s.max = std::max(s.max, d);
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  double var = 0;
+  for (const T v : values) {
+    const double d = static_cast<double>(v) - s.mean;
+    var += d * d;
+  }
+  s.stddev = std::sqrt(var / static_cast<double>(values.size()));
+  return s;
+}
+
+}  // namespace
+
+summary summarize(std::span<const double> values) {
+  return summarize_impl(values);
+}
+
+summary summarize(std::span<const std::uint64_t> values) {
+  return summarize_impl(values);
+}
+
+double imbalance(std::span<const std::uint64_t> per_partition) {
+  const summary s = summarize(per_partition);
+  if (s.count == 0 || s.mean == 0) return 1.0;
+  return s.max / s.mean;
+}
+
+void log2_histogram::add(std::uint64_t value, std::uint64_t weight) {
+  const std::size_t b = value < 2 ? 0 : log2_floor(value);
+  if (b >= buckets_.size()) buckets_.resize(b + 1, 0);
+  buckets_[b] += weight;
+  total_ += weight;
+}
+
+std::size_t log2_histogram::num_buckets() const { return buckets_.size(); }
+
+std::uint64_t log2_histogram::bucket_count(std::size_t b) const {
+  return b < buckets_.size() ? buckets_[b] : 0;
+}
+
+std::string log2_histogram::to_string() const {
+  std::ostringstream os;
+  std::uint64_t max_count = 1;
+  for (const auto c : buckets_) max_count = std::max(max_count, c);
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    const std::uint64_t lo = b == 0 ? 0 : (1ULL << b);
+    const std::uint64_t hi = (1ULL << (b + 1)) - 1;
+    const int bar =
+        static_cast<int>(60.0 * static_cast<double>(buckets_[b]) /
+                         static_cast<double>(max_count));
+    os << '[' << lo << ", " << hi << "]: " << buckets_[b] << ' '
+       << std::string(static_cast<std::size_t>(bar), '#') << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace sfg::util

@@ -1,0 +1,57 @@
+/// \file stats.hpp
+/// Summary statistics, load-imbalance metrics and log-scale histograms.
+/// The paper's Figure 2 reports "partition imbalance" computed from the
+/// distribution of edges per partition; `imbalance()` implements the
+/// conventional max/mean definition used there.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sfg::util {
+
+/// Min / max / mean / standard deviation of a sample.
+struct summary {
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double stddev = 0;
+  std::size_t count = 0;
+};
+
+summary summarize(std::span<const double> values);
+summary summarize(std::span<const std::uint64_t> values);
+
+/// Load imbalance of a per-partition work distribution: max / mean.
+/// 1.0 is perfectly balanced; k means the worst partition holds k times
+/// its fair share.  Returns 1.0 for empty or all-zero input.
+double imbalance(std::span<const std::uint64_t> per_partition);
+
+/// Power-of-two bucketed histogram, used for degree distributions
+/// (scale-free graphs span many orders of magnitude, so log buckets).
+class log2_histogram {
+ public:
+  /// Record one sample with the given value (>= 0).
+  void add(std::uint64_t value, std::uint64_t weight = 1);
+
+  /// Number of buckets in use (highest non-empty bucket + 1).
+  [[nodiscard]] std::size_t num_buckets() const;
+
+  /// Count in bucket b: values in [2^(b-1), 2^b), bucket 0 holds value 0
+  /// and 1 (i.e. values < 2).
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t b) const;
+
+  /// Total weight recorded.
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+  /// Multi-line human-readable rendering with bars.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace sfg::util

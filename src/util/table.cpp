@@ -1,0 +1,73 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace sfg::util {
+
+table::table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+table& table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+table& table::add(const std::string& cell) {
+  rows_.back().push_back(cell);
+  return *this;
+}
+
+table& table::add(const char* cell) { return add(std::string(cell)); }
+
+table& table::add(std::uint64_t v) { return add(std::to_string(v)); }
+
+table& table::add(std::int64_t v) { return add(std::to_string(v)); }
+
+table& table::add(int v) { return add(std::to_string(v)); }
+
+table& table::add(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return add(os.str());
+}
+
+void table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      os << (c == 0 ? "" : " | ") << std::setw(static_cast<int>(widths[c]))
+         << cell;
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (const auto w : widths) total += w + 3;
+  os << std::string(total > 3 ? total - 3 : total, '-') << '\n';
+  for (const auto& r : rows_) emit_row(r);
+}
+
+void table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : ",") << cells[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& r : rows_) emit(r);
+}
+
+}  // namespace sfg::util

@@ -1,0 +1,41 @@
+/// \file table.hpp
+/// Minimal aligned-column table printer.  Every bench binary regenerating a
+/// paper figure prints its series through this so outputs are uniform and
+/// grep/CSV friendly.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sfg::util {
+
+class table {
+ public:
+  /// Construct with the header row.
+  explicit table(std::vector<std::string> headers);
+
+  /// Begin a new row; subsequent add() calls fill its cells.
+  table& row();
+
+  table& add(const std::string& cell);
+  table& add(const char* cell);
+  table& add(std::uint64_t v);
+  table& add(std::int64_t v);
+  table& add(int v);
+  /// Doubles are rendered with `precision` significant decimal digits.
+  table& add(double v, int precision = 3);
+
+  /// Render aligned, space-padded, with a `|` separated header.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (no padding), convenient for plotting.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sfg::util

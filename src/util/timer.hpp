@@ -1,0 +1,29 @@
+/// \file timer.hpp
+/// Monotonic wall-clock timer used by benches and examples.
+#pragma once
+
+#include <chrono>
+
+namespace sfg::util {
+
+class timer {
+ public:
+  timer() : start_(clock::now()) {}
+
+  /// Reset the epoch to now.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction / last reset.
+  [[nodiscard]] double elapsed_s() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction / last reset.
+  [[nodiscard]] double elapsed_ms() const { return elapsed_s() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace sfg::util

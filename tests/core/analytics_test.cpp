@@ -1,0 +1,119 @@
+#include "core/analytics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "gen/generators.hpp"
+#include "graph/distributed_graph.hpp"
+#include "runtime/runtime.hpp"
+
+namespace sfg::core {
+namespace {
+
+using gen::edge64;
+using graph::build_in_memory_graph;
+using runtime::comm;
+using runtime::launch;
+
+class AnalyticsP : public ::testing::TestWithParam<int> {};
+
+TEST_P(AnalyticsP, TopKHubsMatchSerialCount) {
+  const int p = GetParam();
+  gen::rmat_config rc{.scale = 8, .edge_factor = 8, .seed = 77};
+  const auto edges = gen::rmat_slice(rc, 0, rc.num_edges());
+
+  // Serial degree map with the same cleanup.
+  auto cleaned = edges;
+  gen::symmetrize(cleaned);
+  std::erase_if(cleaned, [](const edge64& e) { return e.src == e.dst; });
+  std::sort(cleaned.begin(), cleaned.end(), gen::by_src_dst{});
+  cleaned.erase(std::unique(cleaned.begin(), cleaned.end()), cleaned.end());
+  std::map<std::uint64_t, std::uint64_t> degree;
+  for (const auto& e : cleaned) ++degree[e.src];
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> by_degree;  // (deg,gid)
+  for (const auto& [v, d] : degree) by_degree.emplace_back(d, v);
+  std::sort(by_degree.begin(), by_degree.end(), [](auto& a, auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+
+  launch(p, [&](comm& c) {
+    const auto range = gen::slice_for_rank(edges.size(), c.rank(), p);
+    std::vector<edge64> mine(
+        edges.begin() + static_cast<std::ptrdiff_t>(range.begin),
+        edges.begin() + static_cast<std::ptrdiff_t>(range.end));
+    auto g = build_in_memory_graph(c, mine, {});
+    const auto hubs = top_k_hubs(g, 10);
+    ASSERT_EQ(hubs.size(), 10u);
+    for (std::size_t i = 0; i < hubs.size(); ++i) {
+      EXPECT_EQ(hubs[i].degree, by_degree[i].first) << i;
+      EXPECT_EQ(hubs[i].global_id, by_degree[i].second) << i;
+    }
+    // Descending order invariant.
+    for (std::size_t i = 1; i < hubs.size(); ++i) {
+      EXPECT_GE(hubs[i - 1].degree, hubs[i].degree);
+    }
+  });
+}
+
+TEST_P(AnalyticsP, HistogramTotalEqualsVertices) {
+  const int p = GetParam();
+  gen::rmat_config rc{.scale = 8, .edge_factor = 8, .seed = 78};
+  const auto edges = gen::rmat_slice(rc, 0, rc.num_edges());
+  launch(p, [&](comm& c) {
+    const auto range = gen::slice_for_rank(edges.size(), c.rank(), p);
+    std::vector<edge64> mine(
+        edges.begin() + static_cast<std::ptrdiff_t>(range.begin),
+        edges.begin() + static_cast<std::ptrdiff_t>(range.end));
+    auto g = build_in_memory_graph(c, mine, {});
+    const auto h = degree_histogram(g);
+    EXPECT_EQ(h.total(), g.total_vertices());
+  });
+}
+
+TEST_P(AnalyticsP, HubEdgeMassMonotoneInThreshold) {
+  const int p = GetParam();
+  gen::rmat_config rc{.scale = 9, .edge_factor = 16, .seed = 79};
+  const auto edges = gen::rmat_slice(rc, 0, rc.num_edges());
+  launch(p, [&](comm& c) {
+    const auto range = gen::slice_for_rank(edges.size(), c.rank(), p);
+    std::vector<edge64> mine(
+        edges.begin() + static_cast<std::ptrdiff_t>(range.begin),
+        edges.begin() + static_cast<std::ptrdiff_t>(range.end));
+    auto g = build_in_memory_graph(c, mine, {});
+    const auto m0 = hub_edge_mass(g, 0);
+    const auto m64 = hub_edge_mass(g, 64);
+    const auto m256 = hub_edge_mass(g, 256);
+    EXPECT_EQ(m0, g.total_edges());  // every vertex counted
+    EXPECT_GE(m64, m256);
+    EXPECT_GT(m64, 0u);  // RMAT at this scale has hubs past 64
+  });
+}
+
+TEST_P(AnalyticsP, PartitionSummaryInvariants) {
+  const int p = GetParam();
+  gen::rmat_config rc{.scale = 8, .edge_factor = 8, .seed = 80};
+  const auto edges = gen::rmat_slice(rc, 0, rc.num_edges());
+  launch(p, [&](comm& c) {
+    const auto range = gen::slice_for_rank(edges.size(), c.rank(), p);
+    std::vector<edge64> mine(
+        edges.begin() + static_cast<std::ptrdiff_t>(range.begin),
+        edges.begin() + static_cast<std::ptrdiff_t>(range.end));
+    graph::graph_build_config cfg;
+    cfg.num_ghosts = 8;
+    auto g = build_in_memory_graph(c, mine, cfg);
+    const auto r = partition_summary(g);
+    // Edge-list: even up to the floor/ceil rounding of |E| / p.
+    EXPECT_NEAR(r.edge_imbalance, 1.0, 0.01);
+    EXPECT_LE(r.replica_slots, 2u);  // at most two split lists/partition
+    EXPECT_LE(r.ghost_slots, 8u);
+    const auto splits = c.all_gather(r.split_vertices);
+    for (const auto s : splits) EXPECT_EQ(s, splits[0]);  // replicated
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, AnalyticsP,
+                         ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace sfg::core

@@ -1,0 +1,115 @@
+#include "core/bfs_validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "graph/distributed_graph.hpp"
+#include "runtime/runtime.hpp"
+
+namespace sfg::core {
+namespace {
+
+using gen::edge64;
+using graph::build_in_memory_graph;
+using runtime::comm;
+using runtime::launch;
+
+class BfsValidateP : public ::testing::TestWithParam<int> {};
+
+TEST_P(BfsValidateP, AcceptsCorrectTrees) {
+  const int p = GetParam();
+  gen::rmat_config rc{.scale = 8, .edge_factor = 8, .seed = 61};
+  const auto edges = gen::rmat_slice(rc, 0, rc.num_edges());
+  launch(p, [&](comm& c) {
+    const auto range = gen::slice_for_rank(edges.size(), c.rank(), p);
+    std::vector<edge64> mine(
+        edges.begin() + static_cast<std::ptrdiff_t>(range.begin),
+        edges.begin() + static_cast<std::ptrdiff_t>(range.end));
+    auto g = build_in_memory_graph(c, mine, {.num_ghosts = 32});
+    const auto source = g.locate(edges.front().src);
+    auto bfs = run_bfs(g, source, {});
+    const auto v = validate_bfs(g, source, bfs.state, {});
+    EXPECT_TRUE(v.valid);
+    EXPECT_EQ(v.level_violations, 0u);
+    EXPECT_EQ(v.structural_violations, 0u);
+    EXPECT_EQ(v.tree_edges_found, v.tree_edges_expected);
+    EXPECT_GT(v.reached, 1u);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, BfsValidateP,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(BfsValidate, DetectsCorruptedLevel) {
+  gen::rmat_config rc{.scale = 7, .edge_factor = 8, .seed = 62};
+  const auto edges = gen::rmat_slice(rc, 0, rc.num_edges());
+  launch(4, [&](comm& c) {
+    const auto range = gen::slice_for_rank(edges.size(), c.rank(), 4);
+    std::vector<edge64> mine(
+        edges.begin() + static_cast<std::ptrdiff_t>(range.begin),
+        edges.begin() + static_cast<std::ptrdiff_t>(range.end));
+    auto g = build_in_memory_graph(c, mine, {});
+    const auto source = g.locate(edges.front().src);
+    auto bfs = run_bfs(g, source, {});
+    // Corrupt one reached vertex's level on rank 0 (any rank would do).
+    if (c.rank() == 0) {
+      for (std::size_t s = 0; s < g.num_slots(); ++s) {
+        auto& st = bfs.state.local(s);
+        if (g.is_master(s) && st.reached() && st.level > 0) {
+          st.level += 5;
+          break;
+        }
+      }
+    }
+    const auto v = validate_bfs(g, source, bfs.state, {});
+    EXPECT_FALSE(v.valid);
+    c.barrier();
+  });
+}
+
+TEST(BfsValidate, DetectsBogusParent) {
+  gen::rmat_config rc{.scale = 7, .edge_factor = 8, .seed = 63};
+  const auto edges = gen::rmat_slice(rc, 0, rc.num_edges());
+  launch(4, [&](comm& c) {
+    const auto range = gen::slice_for_rank(edges.size(), c.rank(), 4);
+    std::vector<edge64> mine(
+        edges.begin() + static_cast<std::ptrdiff_t>(range.begin),
+        edges.begin() + static_cast<std::ptrdiff_t>(range.end));
+    auto g = build_in_memory_graph(c, mine, {});
+    const auto source = g.locate(edges.front().src);
+    auto bfs = run_bfs(g, source, {});
+    // Point one vertex's parent at a random non-neighbor: either the
+    // level check or the tree-edge check must fire.
+    if (c.rank() == 1 % c.size()) {
+      for (std::size_t s = 0; s < g.num_slots(); ++s) {
+        auto& st = bfs.state.local(s);
+        if (g.is_master(s) && st.reached() && st.level > 1) {
+          st.parent_bits = source.bits();  // source is not 2+ levels up
+          break;
+        }
+      }
+    }
+    const auto v = validate_bfs(g, source, bfs.state, {});
+    EXPECT_FALSE(v.valid);
+    c.barrier();
+  });
+}
+
+TEST(BfsValidate, SingleVertexTreeIsValid) {
+  // A source with no edges at all: nothing to check, trivially valid.
+  launch(2, [](comm& c) {
+    graph::graph_build_config gcfg;
+    gcfg.undirected = false;
+    std::vector<edge64> mine;
+    if (c.rank() == 0) mine = {{7, 8}};
+    auto g = build_in_memory_graph(c, mine, gcfg);
+    const auto source = g.locate(8);  // a sink: level 0, no outgoing
+    auto bfs = run_bfs(g, source, {});
+    const auto v = validate_bfs(g, source, bfs.state, {});
+    EXPECT_TRUE(v.valid);
+    EXPECT_EQ(v.reached, 1u);
+  });
+}
+
+}  // namespace
+}  // namespace sfg::core

@@ -1,0 +1,107 @@
+#include "core/core_decomposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/test_helpers.hpp"
+#include "gen/generators.hpp"
+#include "graph/distributed_graph.hpp"
+#include "reference/serial_graph.hpp"
+#include "runtime/runtime.hpp"
+
+namespace sfg::core {
+namespace {
+
+using gen::edge64;
+using graph::build_in_memory_graph;
+using runtime::comm;
+using runtime::launch;
+using testing::gather_global;
+
+/// Serial core numbers via repeated peeling.
+std::vector<std::uint32_t> serial_core_numbers(
+    const reference::serial_graph& g) {
+  std::vector<std::uint32_t> core(g.num_vertices(), 0);
+  for (std::uint32_t k = 1;; ++k) {
+    const auto alive = reference::serial_kcore(g, k);
+    bool any = false;
+    for (std::uint64_t v = 0; v < g.num_vertices(); ++v) {
+      if (alive[v]) {
+        core[v] = k;
+        any = true;
+      }
+    }
+    if (!any) break;
+  }
+  return core;
+}
+
+TEST(CoreDecomposition, MatchesSerialOnRmat) {
+  gen::rmat_config rc{.scale = 7, .edge_factor = 8, .seed = 44};
+  const auto edges = gen::rmat_slice(rc, 0, rc.num_edges());
+  const auto ref = reference::serial_graph::from_edges(edges);
+  const auto expected = serial_core_numbers(ref);
+
+  launch(4, [&](comm& c) {
+    const auto range = gen::slice_for_rank(edges.size(), c.rank(), 4);
+    std::vector<edge64> mine(
+        edges.begin() + static_cast<std::ptrdiff_t>(range.begin),
+        edges.begin() + static_cast<std::ptrdiff_t>(range.end));
+    auto g = build_in_memory_graph(c, mine, {});
+    auto result = run_core_decomposition(g);
+    const auto numbers = gather_global(c, g, [&](std::size_t s) {
+      return static_cast<std::uint64_t>(result.core_number.local(s));
+    });
+    for (const auto& [gid, k] : numbers) {
+      ASSERT_EQ(k, expected[gid]) << "vertex " << gid;
+    }
+    EXPECT_GT(result.max_core, 1u);
+    EXPECT_EQ(result.traversals, result.max_core + 1u);
+  });
+}
+
+TEST(CoreDecomposition, CliqueWithTail) {
+  // 6-clique (core number 5) + pendant path (core number 1).
+  std::vector<edge64> edges;
+  for (std::uint64_t a = 0; a < 6; ++a) {
+    for (std::uint64_t b = a + 1; b < 6; ++b) edges.push_back({a, b});
+  }
+  edges.push_back({5, 6});
+  edges.push_back({6, 7});
+  launch(3, [&](comm& c) {
+    const auto range = gen::slice_for_rank(edges.size(), c.rank(), 3);
+    std::vector<edge64> mine(
+        edges.begin() + static_cast<std::ptrdiff_t>(range.begin),
+        edges.begin() + static_cast<std::ptrdiff_t>(range.end));
+    auto g = build_in_memory_graph(c, mine, {});
+    auto result = run_core_decomposition(g);
+    EXPECT_EQ(result.max_core, 5u);
+    const auto numbers = gather_global(c, g, [&](std::size_t s) {
+      return static_cast<std::uint64_t>(result.core_number.local(s));
+    });
+    for (std::uint64_t v = 0; v < 6; ++v) EXPECT_EQ(numbers.at(v), 5u);
+    EXPECT_EQ(numbers.at(6), 1u);
+    EXPECT_EQ(numbers.at(7), 1u);
+  });
+}
+
+TEST(CoreDecomposition, KLimitStopsEarly) {
+  std::vector<edge64> edges;
+  for (std::uint64_t a = 0; a < 8; ++a) {
+    for (std::uint64_t b = a + 1; b < 8; ++b) edges.push_back({a, b});
+  }
+  launch(2, [&](comm& c) {
+    const auto range = gen::slice_for_rank(edges.size(), c.rank(), 2);
+    std::vector<edge64> mine(
+        edges.begin() + static_cast<std::ptrdiff_t>(range.begin),
+        edges.begin() + static_cast<std::ptrdiff_t>(range.end));
+    auto g = build_in_memory_graph(c, mine, {});
+    auto result = run_core_decomposition(g, /*k_limit=*/3);
+    EXPECT_EQ(result.max_core, 3u);  // clipped; true degeneracy is 7
+    EXPECT_EQ(result.traversals, 3u);
+  });
+}
+
+}  // namespace
+}  // namespace sfg::core

@@ -1,0 +1,139 @@
+#include "core/kcore.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/test_helpers.hpp"
+#include "gen/generators.hpp"
+#include "graph/distributed_graph.hpp"
+#include "reference/serial_graph.hpp"
+#include "runtime/runtime.hpp"
+
+namespace sfg::core {
+namespace {
+
+using gen::edge64;
+using graph::build_in_memory_graph;
+using runtime::comm;
+using runtime::launch;
+using testing::gather_global;
+
+void check_kcore_matches_serial(const std::vector<edge64>& all_edges,
+                                std::uint32_t k, int p) {
+  const auto ref = reference::serial_graph::from_edges(all_edges);
+  const auto expected = reference::serial_kcore(ref, k);
+  std::uint64_t expected_size = 0;
+  for (std::uint64_t v = 0; v < ref.num_vertices(); ++v) {
+    // Isolated ids (never in any edge) have degree 0 and are not vertices
+    // of the distributed graph; exclude them from the expected core, where
+    // they are already excluded (alive=false for k >= 1).
+    if (expected[v]) ++expected_size;
+  }
+
+  launch(p, [&](comm& c) {
+    const auto range = gen::slice_for_rank(all_edges.size(), c.rank(), p);
+    std::vector<edge64> mine(
+        all_edges.begin() + static_cast<std::ptrdiff_t>(range.begin),
+        all_edges.begin() + static_cast<std::ptrdiff_t>(range.end));
+    auto g = build_in_memory_graph(c, mine, {});
+    auto result = run_kcore(g, k, {});
+    EXPECT_EQ(result.core_size, expected_size) << "k=" << k;
+
+    const auto alive = gather_global(c, g, [&](std::size_t s) {
+      return static_cast<std::uint64_t>(result.state.local(s).alive ? 1 : 0);
+    });
+    for (const auto& [gid, a] : alive) {
+      ASSERT_EQ(a == 1, expected[gid]) << "vertex " << gid << " k=" << k;
+    }
+  });
+}
+
+class KcoreMatrix
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, int>> {};
+
+TEST_P(KcoreMatrix, RmatMatchesSerialPeeling) {
+  const auto [k, p] = GetParam();
+  gen::rmat_config rc{.scale = 8, .edge_factor = 8, .seed = 41};
+  check_kcore_matches_serial(gen::rmat_slice(rc, 0, rc.num_edges()), k, p);
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, KcoreMatrix,
+                         ::testing::Combine(::testing::Values(2u, 4u, 8u,
+                                                              16u),
+                                            ::testing::Values(1, 3, 4, 8)));
+
+TEST(Kcore, PreferentialAttachmentGraph) {
+  gen::pa_config pc{.num_vertices = 1 << 9, .edges_per_vertex = 6, .seed = 2};
+  check_kcore_matches_serial(gen::pa_slice(pc, 0, pc.num_edges()), 5, 4);
+}
+
+TEST(Kcore, CliquePlusTail) {
+  // A 6-clique with a pendant path: the 5-core is exactly the clique.
+  std::vector<edge64> edges;
+  for (std::uint64_t a = 0; a < 6; ++a) {
+    for (std::uint64_t b = a + 1; b < 6; ++b) edges.push_back({a, b});
+  }
+  edges.push_back({5, 6});
+  edges.push_back({6, 7});
+  launch(4, [&](comm& c) {
+    const auto range = gen::slice_for_rank(edges.size(), c.rank(), 4);
+    std::vector<edge64> mine(
+        edges.begin() + static_cast<std::ptrdiff_t>(range.begin),
+        edges.begin() + static_cast<std::ptrdiff_t>(range.end));
+    auto g = build_in_memory_graph(c, mine, {});
+    auto r5 = run_kcore(g, 5, {});
+    EXPECT_EQ(r5.core_size, 6u);
+    auto r1 = run_kcore(g, 1, {});
+    EXPECT_EQ(r1.core_size, 8u);  // everything has degree >= 1
+    auto r7 = run_kcore(g, 7, {});
+    EXPECT_EQ(r7.core_size, 0u);  // max degree is 6
+  });
+}
+
+TEST(Kcore, WholeGraphBelowKEmptiesOut) {
+  // A long path: 2-core of a tree is empty.
+  std::vector<edge64> edges;
+  for (std::uint64_t v = 0; v < 50; ++v) edges.push_back({v, v + 1});
+  check_kcore_matches_serial(edges, 2, 4);
+}
+
+TEST(Kcore, RingIsItsOwn2Core) {
+  std::vector<edge64> edges;
+  for (std::uint64_t v = 0; v < 32; ++v) edges.push_back({v, (v + 1) % 32});
+  launch(4, [&](comm& c) {
+    const auto range = gen::slice_for_rank(edges.size(), c.rank(), 4);
+    std::vector<edge64> mine(
+        edges.begin() + static_cast<std::ptrdiff_t>(range.begin),
+        edges.begin() + static_cast<std::ptrdiff_t>(range.end));
+    auto g = build_in_memory_graph(c, mine, {});
+    EXPECT_EQ(run_kcore(g, 2, {}).core_size, 32u);
+    EXPECT_EQ(run_kcore(g, 3, {}).core_size, 0u);
+  });
+}
+
+TEST(Kcore, RejectsKZero) {
+  launch(1, [](comm& c) {
+    auto g = build_in_memory_graph(c, {{0, 1}}, {});
+    EXPECT_THROW(run_kcore(g, 0, {}), std::invalid_argument);
+  });
+}
+
+TEST(Kcore, SplitHubCountsExactly) {
+  // A hub whose adjacency spans partitions: exact counting must survive
+  // the master/replica protocol.  Hub connects to 200 leaves; leaves form
+  // a ring among themselves.  For k=3: leaves have degree 3 (ring 2 + hub
+  // 1); hub has degree 200.  The whole graph is the 3-core.  For k=4:
+  // everything unravels (leaves drop, then the hub).
+  std::vector<edge64> edges;
+  constexpr std::uint64_t kLeaves = 200;
+  for (std::uint64_t t = 1; t <= kLeaves; ++t) {
+    edges.push_back({0, t});
+    edges.push_back({t, t % kLeaves + 1});
+  }
+  check_kcore_matches_serial(edges, 3, 4);
+  check_kcore_matches_serial(edges, 4, 4);
+}
+
+}  // namespace
+}  // namespace sfg::core

@@ -1,0 +1,174 @@
+#include "core/pagerank.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "core/test_helpers.hpp"
+#include "gen/generators.hpp"
+#include "graph/distributed_graph.hpp"
+#include "reference/serial_graph.hpp"
+#include "runtime/runtime.hpp"
+
+namespace sfg::core {
+namespace {
+
+using gen::edge64;
+using graph::build_in_memory_graph;
+using runtime::comm;
+using runtime::launch;
+
+/// Gather master (gid -> rank value) as doubles.
+template <typename Graph, typename State>
+std::map<std::uint64_t, double> gather_ranks(comm& c, const Graph& g,
+                                             const State& state) {
+  struct kv {
+    std::uint64_t gid;
+    double value;
+  };
+  std::vector<kv> mine;
+  for (std::size_t s = 0; s < g.num_slots(); ++s) {
+    if (g.is_master(s)) mine.push_back({g.global_id_of(s), state.local(s).rank});
+  }
+  const auto all = c.all_gatherv(std::span<const kv>(mine), nullptr);
+  std::map<std::uint64_t, double> out;
+  for (const auto& e : all) out.emplace(e.gid, e.value);
+  return out;
+}
+
+void check_pagerank(const std::vector<edge64>& edges, int p, double eps,
+                    double tolerance) {
+  const auto ref = reference::serial_graph::from_edges(edges);
+  const auto expected = reference::serial_pagerank(ref, 0.85, 1e-12);
+
+  launch(p, [&](comm& c) {
+    const auto range = gen::slice_for_rank(edges.size(), c.rank(), p);
+    std::vector<edge64> mine(
+        edges.begin() + static_cast<std::ptrdiff_t>(range.begin),
+        edges.begin() + static_cast<std::ptrdiff_t>(range.end));
+    auto g = build_in_memory_graph(c, mine, {});
+    auto result = run_pagerank(g, 0.85, eps, {});
+    const auto ranks = gather_ranks(c, g, result.state);
+    for (const auto& [gid, r] : ranks) {
+      ASSERT_NEAR(r, expected[gid], tolerance) << "vertex " << gid;
+    }
+  });
+}
+
+class PagerankP : public ::testing::TestWithParam<int> {};
+
+TEST_P(PagerankP, RmatMatchesPowerIteration) {
+  gen::rmat_config rc{.scale = 7, .edge_factor = 8, .seed = 55};
+  // Truncation bound: each vertex can retain up to eps residual, and a
+  // unit of retained residual withholds at most 1/(1-d) of rank mass
+  // from the system; per-vertex error is safely below eps * deg-ish.
+  // Use a generous absolute tolerance.
+  check_pagerank(gen::rmat_slice(rc, 0, rc.num_edges()), GetParam(), 1e-5,
+                 1e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, PagerankP, ::testing::Values(1, 2, 4, 8));
+
+TEST(Pagerank, RingIsUniform) {
+  // Symmetric ring: every vertex must converge to rank 1.
+  std::vector<edge64> edges;
+  for (std::uint64_t v = 0; v < 24; ++v) edges.push_back({v, (v + 1) % 24});
+  launch(4, [&](comm& c) {
+    const auto range = gen::slice_for_rank(edges.size(), c.rank(), 4);
+    std::vector<edge64> mine(
+        edges.begin() + static_cast<std::ptrdiff_t>(range.begin),
+        edges.begin() + static_cast<std::ptrdiff_t>(range.end));
+    auto g = build_in_memory_graph(c, mine, {});
+    auto result = run_pagerank(g, 0.85, 1e-9, {});
+    const auto ranks = gather_ranks(c, g, result.state);
+    for (const auto& [gid, r] : ranks) {
+      EXPECT_NEAR(r, 1.0, 1e-4) << "vertex " << gid;
+    }
+    EXPECT_NEAR(result.total_mass, 24.0, 1e-3);
+  });
+}
+
+TEST(Pagerank, StarConcentratesRankAtHub) {
+  std::vector<edge64> edges;
+  constexpr std::uint64_t kLeaves = 40;
+  for (std::uint64_t t = 1; t <= kLeaves; ++t) edges.push_back({0, t});
+  const auto ref = reference::serial_graph::from_edges(edges);
+  const auto expected = reference::serial_pagerank(ref, 0.85, 1e-12);
+
+  launch(4, [&](comm& c) {
+    const auto range = gen::slice_for_rank(edges.size(), c.rank(), 4);
+    std::vector<edge64> mine(
+        edges.begin() + static_cast<std::ptrdiff_t>(range.begin),
+        edges.begin() + static_cast<std::ptrdiff_t>(range.end));
+    auto g = build_in_memory_graph(c, mine, {});
+    auto result = run_pagerank(g, 0.85, 1e-9, {});
+    const auto ranks = gather_ranks(c, g, result.state);
+    // Hub absorbs mass from all leaves.
+    EXPECT_NEAR(ranks.at(0), expected[0], 1e-3);
+    EXPECT_GT(ranks.at(0), 5.0 * ranks.at(1));
+    for (std::uint64_t t = 1; t <= kLeaves; ++t) {
+      EXPECT_NEAR(ranks.at(t), expected[t], 1e-3);
+    }
+  });
+}
+
+TEST(Pagerank, SplitHubIsExact) {
+  // A hub whose adjacency spans partitions exercises the two-phase
+  // (accumulate/spread) visitor with the replica chain.
+  std::vector<edge64> edges;
+  constexpr std::uint64_t kLeaves = 300;
+  for (std::uint64_t t = 1; t <= kLeaves; ++t) {
+    edges.push_back({0, t});
+    edges.push_back({t, t % kLeaves + 1});
+  }
+  check_pagerank(edges, 4, 1e-7, 1e-3);
+}
+
+TEST(Pagerank, DanglingVerticesKeepTeleportMass) {
+  // Directed star: leaves are dangling (out-degree 0).  Leaves get
+  // (1 - d) + d * hub_share; the hub gets only (1 - d).
+  std::vector<edge64> edges;
+  for (std::uint64_t t = 1; t <= 10; ++t) edges.push_back({0, t});
+  launch(2, [&](comm& c) {
+    const auto range = gen::slice_for_rank(edges.size(), c.rank(), 2);
+    std::vector<edge64> mine(
+        edges.begin() + static_cast<std::ptrdiff_t>(range.begin),
+        edges.begin() + static_cast<std::ptrdiff_t>(range.end));
+    graph::graph_build_config gcfg;
+    gcfg.undirected = false;
+    auto g = build_in_memory_graph(c, mine, gcfg);
+    auto result = run_pagerank(g, 0.85, 1e-10, {});
+    const auto ranks = gather_ranks(c, g, result.state);
+    EXPECT_NEAR(ranks.at(0), 0.15, 1e-4);
+    for (std::uint64_t t = 1; t <= 10; ++t) {
+      EXPECT_NEAR(ranks.at(t), 0.15 + 0.85 * 0.15 / 10.0, 1e-4);
+    }
+  });
+}
+
+TEST(Pagerank, LooserEpsConvergesFasterWithMoreError) {
+  gen::rmat_config rc{.scale = 7, .edge_factor = 8, .seed = 56};
+  const auto edges = gen::rmat_slice(rc, 0, rc.num_edges());
+  launch(2, [&](comm& c) {
+    const auto range = gen::slice_for_rank(edges.size(), c.rank(), 2);
+    std::vector<edge64> mine(
+        edges.begin() + static_cast<std::ptrdiff_t>(range.begin),
+        edges.begin() + static_cast<std::ptrdiff_t>(range.end));
+    auto g = build_in_memory_graph(c, mine, {});
+    auto coarse = run_pagerank(g, 0.85, 1e-3, {});
+    auto fine = run_pagerank(g, 0.85, 1e-7, {});
+    const auto coarse_work = c.all_reduce(coarse.stats.visitors_delivered,
+                                          std::plus<>());
+    const auto fine_work = c.all_reduce(fine.stats.visitors_delivered,
+                                        std::plus<>());
+    EXPECT_LT(coarse_work, fine_work);
+    // Mass converges toward V as eps shrinks.
+    EXPECT_GT(fine.total_mass, coarse.total_mass);
+    EXPECT_LE(fine.total_mass,
+              static_cast<double>(g.total_vertices()) + 1e-6);
+  });
+}
+
+}  // namespace
+}  // namespace sfg::core

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/connected_components.hpp"
+#include "core/sssp.hpp"
+#include "core/test_helpers.hpp"
+#include "gen/generators.hpp"
+#include "graph/distributed_graph.hpp"
+#include "reference/serial_graph.hpp"
+#include "runtime/runtime.hpp"
+
+namespace sfg::core {
+namespace {
+
+using gen::edge64;
+using graph::build_in_memory_graph;
+using graph::graph_build_config;
+using runtime::comm;
+using runtime::launch;
+using testing::gather_global;
+
+// ---------------------------------------------------------------------------
+// SSSP
+// ---------------------------------------------------------------------------
+
+class SsspP : public ::testing::TestWithParam<int> {};
+
+TEST_P(SsspP, RmatMatchesDijkstra) {
+  const int p = GetParam();
+  gen::rmat_config rc{.scale = 8, .edge_factor = 8, .seed = 61};
+  const auto edges = gen::rmat_slice(rc, 0, rc.num_edges());
+  constexpr std::uint32_t kMaxW = 15;
+  const auto ref = reference::serial_graph::from_edges(edges);
+  const auto expected = reference::serial_sssp(ref, edges.front().src, kMaxW);
+
+  launch(p, [&](comm& c) {
+    const auto range = gen::slice_for_rank(edges.size(), c.rank(), p);
+    std::vector<edge64> mine(
+        edges.begin() + static_cast<std::ptrdiff_t>(range.begin),
+        edges.begin() + static_cast<std::ptrdiff_t>(range.end));
+    graph_build_config gcfg;
+    gcfg.make_weights = true;
+    gcfg.max_weight = kMaxW;
+    auto g = build_in_memory_graph(c, mine, gcfg);
+    auto result = run_sssp(g, g.locate(edges.front().src), {});
+    const auto dist = gather_global(c, g, [&](std::size_t s) {
+      return result.state.local(s).distance;
+    });
+    for (const auto& [gid, d] : dist) {
+      ASSERT_EQ(d, expected[gid]) << "vertex " << gid;
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, SsspP, ::testing::Values(1, 2, 4, 8));
+
+TEST(Sssp, UnitWeightsDegenerateToBfsDistances) {
+  gen::sw_config sc{.num_vertices = 1 << 8, .degree = 8, .rewire = 0.1,
+                    .seed = 8};
+  const auto edges = gen::sw_slice(sc, 0, sc.num_edges());
+  const auto ref = reference::serial_graph::from_edges(edges);
+  const auto bfs_levels = reference::serial_bfs(ref, edges.front().src);
+
+  launch(4, [&](comm& c) {
+    const auto range = gen::slice_for_rank(edges.size(), c.rank(), 4);
+    std::vector<edge64> mine(
+        edges.begin() + static_cast<std::ptrdiff_t>(range.begin),
+        edges.begin() + static_cast<std::ptrdiff_t>(range.end));
+    graph_build_config gcfg;
+    gcfg.make_weights = true;
+    gcfg.max_weight = 1;  // all weights 1
+    auto g = build_in_memory_graph(c, mine, gcfg);
+    auto result = run_sssp(g, g.locate(edges.front().src), {});
+    const auto dist = gather_global(c, g, [&](std::size_t s) {
+      return result.state.local(s).distance;
+    });
+    for (const auto& [gid, d] : dist) {
+      ASSERT_EQ(d, bfs_levels[gid]);
+    }
+  });
+}
+
+TEST(Sssp, WeightsAreSymmetric) {
+  // The builder's synthetic weights must agree in both edge directions,
+  // or SSSP on undirected graphs would be ill-defined.
+  for (std::uint64_t u = 0; u < 50; ++u) {
+    for (std::uint64_t v = u + 1; v < 50; ++v) {
+      EXPECT_EQ(graph::edge_weight_of(u, v, 255),
+                graph::edge_weight_of(v, u, 255));
+      EXPECT_GE(graph::edge_weight_of(u, v, 255), 1u);
+      EXPECT_LE(graph::edge_weight_of(u, v, 255), 255u);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Connected components
+// ---------------------------------------------------------------------------
+
+class CcP : public ::testing::TestWithParam<int> {};
+
+TEST_P(CcP, MultiComponentGraph) {
+  const int p = GetParam();
+  // Three components: a clique, a ring, a path (ids far apart).
+  std::vector<edge64> edges;
+  for (std::uint64_t a = 0; a < 6; ++a) {
+    for (std::uint64_t b = a + 1; b < 6; ++b) edges.push_back({a, b});
+  }
+  for (std::uint64_t v = 100; v < 116; ++v) {
+    edges.push_back({v, v == 115 ? 100 : v + 1});
+  }
+  for (std::uint64_t v = 500; v < 520; ++v) edges.push_back({v, v + 1});
+
+  const auto ref = reference::serial_graph::from_edges(edges);
+  const auto expected = reference::serial_components(ref);
+
+  launch(p, [&](comm& c) {
+    const auto range = gen::slice_for_rank(edges.size(), c.rank(), p);
+    std::vector<edge64> mine(
+        edges.begin() + static_cast<std::ptrdiff_t>(range.begin),
+        edges.begin() + static_cast<std::ptrdiff_t>(range.end));
+    auto g = build_in_memory_graph(c, mine, {});
+    auto result = run_connected_components(g, {});
+    EXPECT_EQ(result.num_components, 3u);
+
+    // Two vertices share a distributed label iff they share a serial one.
+    const auto labels = gather_global(c, g, [&](std::size_t s) {
+      return result.state.local(s).label_bits;
+    });
+    std::map<std::uint64_t, std::uint64_t> dist_to_serial;
+    for (const auto& [gid, label] : labels) {
+      const auto serial = expected[gid];
+      const auto [it, inserted] = dist_to_serial.emplace(label, serial);
+      EXPECT_EQ(it->second, serial) << "vertex " << gid;
+    }
+    EXPECT_EQ(dist_to_serial.size(), 3u);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, CcP, ::testing::Values(1, 2, 4, 8));
+
+TEST(Cc, RmatMatchesSerialPartition) {
+  gen::rmat_config rc{.scale = 8, .edge_factor = 4, .seed = 71};
+  const auto edges = gen::rmat_slice(rc, 0, rc.num_edges());
+  const auto ref = reference::serial_graph::from_edges(edges);
+  const auto expected = reference::serial_components(ref);
+  std::map<std::uint64_t, int> serial_sizes;
+  for (std::uint64_t v = 0; v < ref.num_vertices(); ++v) {
+    if (ref.degree(v) > 0) serial_sizes[expected[v]]++;
+  }
+
+  launch(4, [&](comm& c) {
+    const auto range = gen::slice_for_rank(edges.size(), c.rank(), 4);
+    std::vector<edge64> mine(
+        edges.begin() + static_cast<std::ptrdiff_t>(range.begin),
+        edges.begin() + static_cast<std::ptrdiff_t>(range.end));
+    auto g = build_in_memory_graph(c, mine, {});
+    auto result = run_connected_components(g, {});
+    EXPECT_EQ(result.num_components, serial_sizes.size());
+
+    const auto labels = gather_global(c, g, [&](std::size_t s) {
+      return result.state.local(s).label_bits;
+    });
+    // Distributed partition refines and is refined by the serial one.
+    std::map<std::uint64_t, std::uint64_t> d2s;
+    std::map<std::uint64_t, std::uint64_t> s2d;
+    for (const auto& [gid, label] : labels) {
+      const auto serial = expected[gid];
+      const auto [it1, in1] = d2s.emplace(label, serial);
+      EXPECT_EQ(it1->second, serial);
+      const auto [it2, in2] = s2d.emplace(serial, label);
+      EXPECT_EQ(it2->second, label);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace sfg::core

@@ -1,0 +1,34 @@
+/// \file test_helpers.hpp
+/// Shared helpers for the core-algorithm test suites: map distributed
+/// per-slot state back to global vertex ids so results can be compared
+/// with the serial reference implementations.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "runtime/comm.hpp"
+
+namespace sfg::core::testing {
+
+/// Gather (global_id -> value) over *master* slots of all ranks.
+/// `extract(slot)` reads this rank's value for a slot.
+template <typename Graph, typename Extract>
+std::map<std::uint64_t, std::uint64_t> gather_global(
+    runtime::comm& c, const Graph& g, Extract&& extract) {
+  struct kv {
+    std::uint64_t gid;
+    std::uint64_t value;
+  };
+  std::vector<kv> mine;
+  for (std::size_t s = 0; s < g.num_slots(); ++s) {
+    if (g.is_master(s)) mine.push_back({g.global_id_of(s), extract(s)});
+  }
+  const auto all = c.all_gatherv(std::span<const kv>(mine), nullptr);
+  std::map<std::uint64_t, std::uint64_t> out;
+  for (const auto& e : all) out.emplace(e.gid, e.value);
+  return out;
+}
+
+}  // namespace sfg::core::testing

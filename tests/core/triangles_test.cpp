@@ -1,0 +1,168 @@
+#include "core/triangles.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/wedge_sampling.hpp"
+#include "gen/generators.hpp"
+#include "graph/distributed_graph.hpp"
+#include "reference/serial_graph.hpp"
+#include "runtime/runtime.hpp"
+
+namespace sfg::core {
+namespace {
+
+using gen::edge64;
+using graph::build_in_memory_graph;
+using runtime::comm;
+using runtime::launch;
+
+std::uint64_t distributed_count(const std::vector<edge64>& all_edges, int p,
+                                const queue_config& qcfg = {}) {
+  std::uint64_t result = 0;
+  launch(p, [&](comm& c) {
+    const auto range = gen::slice_for_rank(all_edges.size(), c.rank(), p);
+    std::vector<edge64> mine(
+        all_edges.begin() + static_cast<std::ptrdiff_t>(range.begin),
+        all_edges.begin() + static_cast<std::ptrdiff_t>(range.end));
+    auto g = build_in_memory_graph(c, mine, {});
+    const auto r = run_triangle_count(g, qcfg);
+    if (c.rank() == 0) result = r.total_triangles;
+    c.barrier();
+  });
+  return result;
+}
+
+TEST(Triangles, SingleTriangle) {
+  EXPECT_EQ(distributed_count({{0, 1}, {1, 2}, {2, 0}}, 3), 1u);
+}
+
+TEST(Triangles, K4HasFourTriangles) {
+  EXPECT_EQ(
+      distributed_count({{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}, 4),
+      4u);
+}
+
+TEST(Triangles, K6) {
+  // C(6,3) = 20 triangles.
+  std::vector<edge64> edges;
+  for (std::uint64_t a = 0; a < 6; ++a) {
+    for (std::uint64_t b = a + 1; b < 6; ++b) edges.push_back({a, b});
+  }
+  EXPECT_EQ(distributed_count(edges, 4), 20u);
+}
+
+TEST(Triangles, StarHasNone) {
+  std::vector<edge64> edges;
+  for (std::uint64_t t = 1; t <= 64; ++t) edges.push_back({0, t});
+  EXPECT_EQ(distributed_count(edges, 4), 0u);
+}
+
+TEST(Triangles, RingHasNone) {
+  std::vector<edge64> edges;
+  for (std::uint64_t v = 0; v < 24; ++v) edges.push_back({v, (v + 1) % 24});
+  EXPECT_EQ(distributed_count(edges, 3), 0u);
+}
+
+TEST(Triangles, DuplicateInputEdgesDoNotDoubleCount) {
+  // The builder dedups; a triangle listed twice is still one triangle.
+  EXPECT_EQ(distributed_count(
+                {{0, 1}, {1, 2}, {2, 0}, {0, 1}, {1, 2}, {2, 0}, {1, 0}}, 2),
+            1u);
+}
+
+class TrianglesMatrix
+    : public ::testing::TestWithParam<std::tuple<int, mailbox::topology>> {};
+
+TEST_P(TrianglesMatrix, RmatMatchesSerial) {
+  const auto [p, topo] = GetParam();
+  gen::rmat_config rc{.scale = 7, .edge_factor = 8, .seed = 51};
+  const auto edges = gen::rmat_slice(rc, 0, rc.num_edges());
+  const auto ref = reference::serial_graph::from_edges(edges);
+  const auto expected = reference::serial_triangle_count(ref);
+  ASSERT_GT(expected, 0u);  // RMAT graphs have triangles
+  queue_config qcfg;
+  qcfg.topo = topo;
+  EXPECT_EQ(distributed_count(edges, p, qcfg), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, TrianglesMatrix,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                       ::testing::Values(mailbox::topology::direct,
+                                         mailbox::topology::grid2d)));
+
+TEST(Triangles, SmallWorldMatchesSerial) {
+  gen::sw_config sc{.num_vertices = 1 << 8, .degree = 8, .rewire = 0.2,
+                    .seed = 9};
+  const auto edges = gen::sw_slice(sc, 0, sc.num_edges());
+  const auto ref = reference::serial_graph::from_edges(edges);
+  EXPECT_EQ(distributed_count(edges, 4),
+            reference::serial_triangle_count(ref));
+}
+
+TEST(Triangles, PaGraphWithHubsMatchesSerial) {
+  gen::pa_config pc{.num_vertices = 1 << 8, .edges_per_vertex = 8, .seed = 6};
+  const auto edges = gen::pa_slice(pc, 0, pc.num_edges());
+  const auto ref = reference::serial_graph::from_edges(edges);
+  EXPECT_EQ(distributed_count(edges, 8),
+            reference::serial_triangle_count(ref));
+}
+
+// ---------------------------------------------------------------------------
+// Wedge sampling (approximate counting extension, paper §VI-C)
+// ---------------------------------------------------------------------------
+
+TEST(WedgeSampling, EstimatesWithinTolerance) {
+  gen::sw_config sc{.num_vertices = 1 << 9, .degree = 12, .rewire = 0.05,
+                    .seed = 12};
+  const auto edges = gen::sw_slice(sc, 0, sc.num_edges());
+  const auto ref = reference::serial_graph::from_edges(edges);
+  const auto exact = reference::serial_triangle_count(ref);
+  ASSERT_GT(exact, 100u);
+
+  launch(4, [&](comm& c) {
+    const auto range = gen::slice_for_rank(edges.size(), c.rank(), 4);
+    std::vector<edge64> mine(
+        edges.begin() + static_cast<std::ptrdiff_t>(range.begin),
+        edges.begin() + static_cast<std::ptrdiff_t>(range.end));
+    auto g = build_in_memory_graph(c, mine, {});
+    const auto est = approx_triangle_count(g, 40000, 77);
+    EXPECT_GT(est.samples, 0u);
+    EXPECT_NEAR(est.estimated_triangles, static_cast<double>(exact),
+                0.15 * static_cast<double>(exact));
+  });
+}
+
+TEST(WedgeSampling, TriangleFreeGraphEstimatesZero) {
+  std::vector<edge64> edges;
+  for (std::uint64_t t = 1; t <= 50; ++t) edges.push_back({0, t});
+  launch(2, [&](comm& c) {
+    const auto range = gen::slice_for_rank(edges.size(), c.rank(), 2);
+    std::vector<edge64> mine(
+        edges.begin() + static_cast<std::ptrdiff_t>(range.begin),
+        edges.begin() + static_cast<std::ptrdiff_t>(range.end));
+    auto g = build_in_memory_graph(c, mine, {});
+    const auto est = approx_triangle_count(g, 5000, 3);
+    EXPECT_EQ(est.closed, 0u);
+    EXPECT_EQ(est.estimated_triangles, 0.0);
+  });
+}
+
+TEST(WedgeSampling, WedgeMassIsExact) {
+  // Star with n leaves: wedges = n*(n-1)/2, all centered at the hub.
+  std::vector<edge64> edges;
+  for (std::uint64_t t = 1; t <= 20; ++t) edges.push_back({0, t});
+  launch(3, [&](comm& c) {
+    const auto range = gen::slice_for_rank(edges.size(), c.rank(), 3);
+    std::vector<edge64> mine(
+        edges.begin() + static_cast<std::ptrdiff_t>(range.begin),
+        edges.begin() + static_cast<std::ptrdiff_t>(range.end));
+    auto g = build_in_memory_graph(c, mine, {});
+    const auto est = approx_triangle_count(g, 100, 5);
+    // leaves contribute 0 (degree 1); hub contributes C(20,2) = 190.
+    EXPECT_EQ(est.total_wedges, 190u);
+  });
+}
+
+}  // namespace
+}  // namespace sfg::core

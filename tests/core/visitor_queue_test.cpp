@@ -1,0 +1,169 @@
+/// Configuration-matrix tests for the distributed visitor queue itself:
+/// every knob of queue_config must preserve algorithm correctness, only
+/// shifting performance.
+#include "core/visitor_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/bfs.hpp"
+#include "core/kcore.hpp"
+#include "core/test_helpers.hpp"
+#include "gen/generators.hpp"
+#include "graph/distributed_graph.hpp"
+#include "reference/serial_graph.hpp"
+#include "runtime/runtime.hpp"
+
+namespace sfg::core {
+namespace {
+
+using gen::edge64;
+using graph::build_in_memory_graph;
+using runtime::comm;
+using runtime::launch;
+using testing::gather_global;
+
+struct qc_case {
+  queue_config cfg;
+  const char* name;
+};
+
+class QueueConfigMatrix : public ::testing::TestWithParam<int> {};
+
+TEST_P(QueueConfigMatrix, BfsIsExactUnderEveryConfig) {
+  const int variant = GetParam();
+  queue_config cfg;
+  switch (variant) {
+    case 0:  // defaults
+      break;
+    case 1:  // tiny aggregation buffers: every record its own packet
+      cfg.aggregation_bytes = 1;
+      break;
+    case 2:  // huge buffers: flush only on idle
+      cfg.aggregation_bytes = 1 << 24;
+      break;
+    case 3:  // single-visitor batches
+      cfg.batch_size = 1;
+      break;
+    case 4:  // scrambled tie-break (locality ablation)
+      cfg.tiebreak = order_tiebreak::scrambled;
+      break;
+    case 5:  // 2D routing with tiny buffers
+      cfg.topo = mailbox::topology::grid2d;
+      cfg.aggregation_bytes = 64;
+      break;
+    case 6:  // 3D routing, ghosts off
+      cfg.topo = mailbox::topology::torus3d;
+      cfg.use_ghosts = false;
+      break;
+    default:
+      break;
+  }
+
+  gen::rmat_config rc{.scale = 8, .edge_factor = 8, .seed = 91};
+  const auto edges = gen::rmat_slice(rc, 0, rc.num_edges());
+  const auto ref = reference::serial_graph::from_edges(edges);
+  const auto expected = reference::serial_bfs(ref, edges.front().src);
+
+  launch(8, [&](comm& c) {
+    const auto range = gen::slice_for_rank(edges.size(), c.rank(), 8);
+    std::vector<edge64> mine(
+        edges.begin() + static_cast<std::ptrdiff_t>(range.begin),
+        edges.begin() + static_cast<std::ptrdiff_t>(range.end));
+    auto g = build_in_memory_graph(c, mine, {.num_ghosts = 32});
+    auto result = run_bfs(g, g.locate(edges.front().src), cfg);
+    const auto levels = gather_global(c, g, [&](std::size_t s) {
+      return result.state.local(s).level;
+    });
+    for (const auto& [gid, level] : levels) {
+      ASSERT_EQ(level, expected[gid]) << "variant " << variant;
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, QueueConfigMatrix,
+                         ::testing::Range(0, 7));
+
+TEST(VisitorQueue, KcoreExactWithTinyBuffers) {
+  // Exact-count algorithms must survive the most packet-happy config.
+  gen::rmat_config rc{.scale = 7, .edge_factor = 8, .seed = 92};
+  const auto edges = gen::rmat_slice(rc, 0, rc.num_edges());
+  const auto ref = reference::serial_graph::from_edges(edges);
+  const auto expected = reference::serial_kcore(ref, 4);
+  std::uint64_t expected_size = 0;
+  for (const auto a : expected) {
+    if (a) ++expected_size;
+  }
+  launch(8, [&](comm& c) {
+    const auto range = gen::slice_for_rank(edges.size(), c.rank(), 8);
+    std::vector<edge64> mine(
+        edges.begin() + static_cast<std::ptrdiff_t>(range.begin),
+        edges.begin() + static_cast<std::ptrdiff_t>(range.end));
+    auto g = build_in_memory_graph(c, mine, {});
+    queue_config cfg;
+    cfg.aggregation_bytes = 1;
+    cfg.topo = mailbox::topology::grid2d;
+    auto result = run_kcore(g, 4, cfg);
+    EXPECT_EQ(result.core_size, expected_size);
+  });
+}
+
+TEST(VisitorQueue, GhostTogglePreservesResultButCutsTraffic) {
+  gen::rmat_config rc{.scale = 9, .edge_factor = 16, .seed = 93};
+  const auto edges = gen::rmat_slice(rc, 0, rc.num_edges());
+  launch(4, [&](comm& c) {
+    const auto range = gen::slice_for_rank(edges.size(), c.rank(), 4);
+    std::vector<edge64> mine(
+        edges.begin() + static_cast<std::ptrdiff_t>(range.begin),
+        edges.begin() + static_cast<std::ptrdiff_t>(range.end));
+    auto g = build_in_memory_graph(c, mine, {.num_ghosts = 128});
+    const auto source = g.locate(edges.front().src);
+
+    queue_config with;
+    queue_config without;
+    without.use_ghosts = false;
+    auto r_with = run_bfs(g, source, with);
+    auto r_without = run_bfs(g, source, without);
+
+    // Same levels either way...
+    for (std::size_t s = 0; s < g.num_slots(); ++s) {
+      ASSERT_EQ(r_with.state.local(s).level, r_without.state.local(s).level);
+    }
+    // ...but ghosts must reduce the records that hit the network.
+    const auto sent_with = c.all_reduce(r_with.stats.visitors_sent,
+                                        std::plus<>());
+    const auto sent_without = c.all_reduce(r_without.stats.visitors_sent,
+                                           std::plus<>());
+    EXPECT_LT(sent_with, sent_without);
+  });
+}
+
+TEST(VisitorQueue, BackToBackTraversalsOnOneGraph) {
+  // Multiple traversals (fresh queue each) over the same graph must not
+  // interfere — the Graph500 runner does 16 of these.
+  gen::rmat_config rc{.scale = 7, .edge_factor = 8, .seed = 94};
+  const auto edges = gen::rmat_slice(rc, 0, rc.num_edges());
+  const auto ref = reference::serial_graph::from_edges(edges);
+  launch(4, [&](comm& c) {
+    const auto range = gen::slice_for_rank(edges.size(), c.rank(), 4);
+    std::vector<edge64> mine(
+        edges.begin() + static_cast<std::ptrdiff_t>(range.begin),
+        edges.begin() + static_cast<std::ptrdiff_t>(range.end));
+    auto g = build_in_memory_graph(c, mine, {});
+    for (const std::uint64_t src :
+         {edges[0].src, edges[5].src, edges[11].src}) {
+      const auto expected = reference::serial_bfs(ref, src);
+      auto result = run_bfs(g, g.locate(src), {});
+      const auto levels = gather_global(c, g, [&](std::size_t s) {
+        return result.state.local(s).level;
+      });
+      for (const auto& [gid, level] : levels) {
+        ASSERT_EQ(level, expected[gid]);
+      }
+    }
+  });
+}
+
+}  // namespace
+}  // namespace sfg::core

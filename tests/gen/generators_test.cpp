@@ -1,0 +1,265 @@
+#include "gen/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace sfg::gen {
+namespace {
+
+std::map<std::uint64_t, std::uint64_t> degree_counts(
+    const std::vector<edge64>& edges) {
+  std::map<std::uint64_t, std::uint64_t> deg;
+  for (const auto& e : edges) {
+    deg[e.src]++;
+    deg[e.dst]++;
+  }
+  return deg;
+}
+
+std::uint64_t max_degree(const std::vector<edge64>& edges) {
+  std::uint64_t best = 0;
+  for (const auto& [v, d] : degree_counts(edges)) best = std::max(best, d);
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Slicing determinism (all generators)
+// ---------------------------------------------------------------------------
+
+TEST(SliceForRank, CoversExactlyOnce) {
+  for (const std::uint64_t total : {0ULL, 1ULL, 7ULL, 100ULL, 101ULL}) {
+    for (const int p : {1, 2, 3, 7, 16}) {
+      std::uint64_t covered = 0;
+      std::uint64_t prev_end = 0;
+      for (int r = 0; r < p; ++r) {
+        const auto s = slice_for_rank(total, r, p);
+        EXPECT_EQ(s.begin, prev_end);
+        prev_end = s.end;
+        covered += s.end - s.begin;
+        // Balance: slice sizes differ by at most 1.
+        EXPECT_LE(s.end - s.begin, total / p + 1);
+      }
+      EXPECT_EQ(prev_end, total);
+      EXPECT_EQ(covered, total);
+    }
+  }
+}
+
+TEST(Generators, SlicesAreConsistentWithFullGeneration) {
+  const rmat_config rc{.scale = 8, .edge_factor = 4, .seed = 3};
+  const auto full = rmat_slice(rc, 0, rc.num_edges());
+  for (const int p : {2, 3, 5}) {
+    std::vector<edge64> stitched;
+    for (int r = 0; r < p; ++r) {
+      const auto s = slice_for_rank(rc.num_edges(), r, p);
+      const auto part = rmat_slice(rc, s.begin, s.end);
+      stitched.insert(stitched.end(), part.begin(), part.end());
+    }
+    EXPECT_EQ(stitched, full) << "p=" << p;
+  }
+}
+
+TEST(Generators, PaAndSwSlicesStitchToo) {
+  const pa_config pc{.num_vertices = 256, .edges_per_vertex = 4, .seed = 5};
+  const auto pa_full = pa_slice(pc, 0, pc.num_edges());
+  std::vector<edge64> stitched;
+  for (int r = 0; r < 4; ++r) {
+    const auto s = slice_for_rank(pc.num_edges(), r, 4);
+    const auto part = pa_slice(pc, s.begin, s.end);
+    stitched.insert(stitched.end(), part.begin(), part.end());
+  }
+  EXPECT_EQ(stitched, pa_full);
+
+  const sw_config sc{.num_vertices = 256, .degree = 8, .rewire = 0.2, .seed = 5};
+  const auto sw_full = sw_slice(sc, 0, sc.num_edges());
+  stitched.clear();
+  for (int r = 0; r < 3; ++r) {
+    const auto s = slice_for_rank(sc.num_edges(), r, 3);
+    const auto part = sw_slice(sc, s.begin, s.end);
+    stitched.insert(stitched.end(), part.begin(), part.end());
+  }
+  EXPECT_EQ(stitched, sw_full);
+}
+
+// ---------------------------------------------------------------------------
+// RMAT properties
+// ---------------------------------------------------------------------------
+
+TEST(Rmat, VertexIdsInRange) {
+  const rmat_config cfg{.scale = 10, .edge_factor = 8, .seed = 1};
+  const auto edges = rmat_slice(cfg, 0, cfg.num_edges());
+  EXPECT_EQ(edges.size(), cfg.num_edges());
+  for (const auto& e : edges) {
+    EXPECT_LT(e.src, cfg.num_vertices());
+    EXPECT_LT(e.dst, cfg.num_vertices());
+  }
+}
+
+TEST(Rmat, IsScaleFreeIsh) {
+  // Max degree far exceeds the mean: the hub property driving the paper.
+  rmat_config cfg{.scale = 12, .edge_factor = 16, .seed = 1};
+  const auto edges = rmat_slice(cfg, 0, cfg.num_edges());
+  const auto deg = degree_counts(edges);
+  const double mean_degree =
+      2.0 * static_cast<double>(edges.size()) / static_cast<double>(cfg.num_vertices());
+  std::uint64_t max_deg = 0;
+  for (const auto& [v, d] : deg) max_deg = std::max(max_deg, d);
+  EXPECT_GT(static_cast<double>(max_deg), 10.0 * mean_degree);
+}
+
+TEST(Rmat, HubGrowthWithScale) {
+  // Paper Figure 1: the max-degree hub grows superlinearly with scale.
+  std::uint64_t prev_max = 0;
+  for (const unsigned scale : {8u, 10u, 12u}) {
+    rmat_config cfg{.scale = scale, .edge_factor = 16, .seed = 2};
+    const auto edges = rmat_slice(cfg, 0, cfg.num_edges());
+    const auto m = max_degree(edges);
+    EXPECT_GT(m, prev_max);
+    prev_max = m;
+  }
+}
+
+TEST(Rmat, PermutationDestroysLocalityButKeepsDegrees) {
+  rmat_config plain{.scale = 9, .edge_factor = 8, .seed = 4,
+                    .permute_labels = false};
+  rmat_config permuted = plain;
+  permuted.permute_labels = true;
+  const auto e1 = rmat_slice(plain, 0, plain.num_edges());
+  const auto e2 = rmat_slice(permuted, 0, permuted.num_edges());
+  // Degree *distributions* (multisets) must be identical.
+  auto d1 = degree_counts(e1);
+  auto d2 = degree_counts(e2);
+  std::vector<std::uint64_t> v1;
+  std::vector<std::uint64_t> v2;
+  for (const auto& [v, d] : d1) v1.push_back(d);
+  for (const auto& [v, d] : d2) v2.push_back(d);
+  std::sort(v1.begin(), v1.end());
+  std::sort(v2.begin(), v2.end());
+  EXPECT_EQ(v1, v2);
+  // But the labeling differs.
+  EXPECT_NE(e1, e2);
+}
+
+TEST(Rmat, RejectsBadProbabilities) {
+  rmat_config cfg{.scale = 4, .a = 0.8, .b = 0.2, .c = 0.2};
+  EXPECT_THROW(rmat_slice(cfg, 0, 1), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Preferential attachment properties
+// ---------------------------------------------------------------------------
+
+TEST(Pa, VertexIdsInRangeAndSourcesCorrect) {
+  pa_config cfg{.num_vertices = 512, .edges_per_vertex = 4, .seed = 1,
+                .permute_labels = false};
+  const auto edges = pa_slice(cfg, 0, cfg.num_edges());
+  EXPECT_EQ(edges.size(), cfg.num_edges());
+  for (std::uint64_t i = 0; i < edges.size(); ++i) {
+    EXPECT_EQ(edges[i].src, i / cfg.edges_per_vertex);
+    EXPECT_LT(edges[i].dst, cfg.num_vertices);
+    // Copy model can only attach to vertices no newer than the source.
+    EXPECT_LE(edges[i].dst, edges[i].src);
+  }
+}
+
+TEST(Pa, ProducesHubs) {
+  pa_config cfg{.num_vertices = 1 << 12, .edges_per_vertex = 8, .seed = 1};
+  const auto edges = pa_slice(cfg, 0, cfg.num_edges());
+  const double mean = 2.0 * static_cast<double>(edges.size()) /
+                      static_cast<double>(cfg.num_vertices);
+  EXPECT_GT(static_cast<double>(max_degree(edges)), 8.0 * mean);
+}
+
+TEST(Pa, RewireShrinksMaxDegree) {
+  // Paper Figure 11's x-axis mechanism: more rewiring, smaller hubs.
+  std::uint64_t prev = UINT64_MAX;
+  for (const double rewire : {0.0, 0.5, 1.0}) {
+    pa_config cfg{.num_vertices = 1 << 12, .edges_per_vertex = 8,
+                  .rewire = rewire, .seed = 3};
+    const auto edges = pa_slice(cfg, 0, cfg.num_edges());
+    const auto m = max_degree(edges);
+    EXPECT_LT(m, prev) << "rewire=" << rewire;
+    prev = m;
+  }
+}
+
+TEST(Pa, FullRewireIsNearUniform) {
+  pa_config cfg{.num_vertices = 1 << 10, .edges_per_vertex = 8, .rewire = 1.0,
+                .seed = 9};
+  const auto edges = pa_slice(cfg, 0, cfg.num_edges());
+  // Max degree of a random graph with mean 16 stays within a small factor.
+  EXPECT_LT(max_degree(edges), 64u);
+}
+
+// ---------------------------------------------------------------------------
+// Small world properties
+// ---------------------------------------------------------------------------
+
+TEST(Sw, ZeroRewireIsExactRing) {
+  sw_config cfg{.num_vertices = 64, .degree = 6, .rewire = 0.0, .seed = 1,
+                .permute_labels = false};
+  const auto edges = sw_slice(cfg, 0, cfg.num_edges());
+  EXPECT_EQ(edges.size(), 64u * 3u);
+  for (const auto& e : edges) {
+    const std::uint64_t fwd = (e.dst + 64 - e.src) % 64;
+    EXPECT_GE(fwd, 1u);
+    EXPECT_LE(fwd, 3u);
+  }
+  // Uniform degree: every vertex has out-degree exactly k/2 and in-degree
+  // exactly k/2.
+  const auto deg = degree_counts(edges);
+  for (const auto& [v, d] : deg) EXPECT_EQ(d, 6u);
+}
+
+TEST(Sw, RewireKeepsUniformOutDegree) {
+  sw_config cfg{.num_vertices = 256, .degree = 8, .rewire = 0.3, .seed = 2,
+                .permute_labels = false};
+  const auto edges = sw_slice(cfg, 0, cfg.num_edges());
+  std::map<std::uint64_t, int> out_deg;
+  for (const auto& e : edges) out_deg[e.src]++;
+  for (const auto& [v, d] : out_deg) EXPECT_EQ(d, 4);
+  EXPECT_EQ(out_deg.size(), 256u);
+}
+
+TEST(Sw, RewireMovesEdgesOffRing) {
+  sw_config ring{.num_vertices = 512, .degree = 8, .rewire = 0.0, .seed = 3,
+                 .permute_labels = false};
+  sw_config wired = ring;
+  wired.rewire = 0.5;
+  const auto e_wired = sw_slice(wired, 0, wired.num_edges());
+  int off_ring = 0;
+  for (const auto& e : e_wired) {
+    const std::uint64_t fwd = (e.dst + 512 - e.src) % 512;
+    if (fwd == 0 || fwd > 4) ++off_ring;
+  }
+  const double frac = static_cast<double>(off_ring) /
+                      static_cast<double>(e_wired.size());
+  // ~50% rewired, nearly all land off the ring.
+  EXPECT_NEAR(frac, 0.5, 0.06);
+}
+
+TEST(Sw, OddDegreeThrows) {
+  sw_config cfg{.num_vertices = 16, .degree = 3};
+  EXPECT_THROW(sw_slice(cfg, 0, 1), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// symmetrize
+// ---------------------------------------------------------------------------
+
+TEST(Symmetrize, AppendsReversedEdges) {
+  std::vector<edge64> edges{{1, 2}, {3, 4}};
+  symmetrize(edges);
+  ASSERT_EQ(edges.size(), 4u);
+  EXPECT_EQ(edges[2], (edge64{2, 1}));
+  EXPECT_EQ(edges[3], (edge64{4, 3}));
+}
+
+}  // namespace
+}  // namespace sfg::gen

@@ -1,0 +1,68 @@
+#include "gen/permutation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace sfg::gen {
+namespace {
+
+class PermutationSizes : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PermutationSizes, IsBijective) {
+  const std::uint64_t n = GetParam();
+  const random_permutation perm(n, 42);
+  std::vector<bool> seen(n, false);
+  for (std::uint64_t x = 0; x < n; ++x) {
+    const std::uint64_t y = perm(x);
+    ASSERT_LT(y, n);
+    ASSERT_FALSE(seen[y]) << "collision at " << x;
+    seen[y] = true;
+  }
+}
+
+TEST_P(PermutationSizes, InverseRecoversInput) {
+  const std::uint64_t n = GetParam();
+  const random_permutation perm(n, 7);
+  for (std::uint64_t x = 0; x < n; ++x) {
+    ASSERT_EQ(perm.inverse(perm(x)), x);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PermutationSizes,
+                         ::testing::Values(1, 2, 3, 5, 16, 17, 100, 1000,
+                                           1024, 4097));
+
+TEST(Permutation, SeedChangesMapping) {
+  const random_permutation a(1000, 1);
+  const random_permutation b(1000, 2);
+  int same = 0;
+  for (std::uint64_t x = 0; x < 1000; ++x) {
+    if (a(x) == b(x)) ++same;
+  }
+  EXPECT_LT(same, 30);  // ~1 expected by chance
+}
+
+TEST(Permutation, ActuallyShuffles) {
+  // Not the identity, and not a simple shift: the displacement multiset
+  // should be diverse.
+  const random_permutation perm(4096, 9);
+  std::set<std::uint64_t> displacements;
+  int fixed_points = 0;
+  for (std::uint64_t x = 0; x < 4096; ++x) {
+    const auto y = perm(x);
+    if (y == x) ++fixed_points;
+    displacements.insert((y + 4096 - x) % 4096);
+  }
+  EXPECT_LT(fixed_points, 20);
+  EXPECT_GT(displacements.size(), 1000u);
+}
+
+TEST(Permutation, ZeroSizeThrows) {
+  EXPECT_THROW(random_permutation(0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sfg::gen

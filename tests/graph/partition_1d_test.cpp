@@ -1,0 +1,121 @@
+#include "graph/partition_1d.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "gen/generators.hpp"
+#include "runtime/runtime.hpp"
+#include "util/stats.hpp"
+
+namespace sfg::graph {
+namespace {
+
+using gen::edge64;
+using runtime::comm;
+using runtime::launch;
+
+class Graph1dP : public ::testing::TestWithParam<int> {};
+
+TEST_P(Graph1dP, ReconstructsEdges) {
+  const int p = GetParam();
+  const gen::rmat_config rc{.scale = 7, .edge_factor = 8, .seed = 2};
+  // Serial reference after cleanup.
+  auto expected = gen::rmat_slice(rc, 0, rc.num_edges());
+  gen::symmetrize(expected);
+  std::erase_if(expected, [](const edge64& e) { return e.src == e.dst; });
+  std::sort(expected.begin(), expected.end(), gen::by_src_dst{});
+  expected.erase(std::unique(expected.begin(), expected.end()),
+                 expected.end());
+
+  launch(p, [&](comm& c) {
+    const auto range = gen::slice_for_rank(rc.num_edges(), c.rank(), c.size());
+    graph_1d g(c, gen::rmat_slice(rc, range.begin, range.end),
+               rc.num_vertices());
+    EXPECT_EQ(g.total_edges(), expected.size());
+
+    std::vector<edge64> local;
+    for (std::size_t s = 0; s < g.num_slots(); ++s) {
+      const auto src = g.global_id_of(s);
+      g.for_each_out_edge(s, [&](vertex_locator t) {
+        // 1D locators decode arithmetically.
+        const std::uint64_t dst =
+            static_cast<std::uint64_t>(t.owner()) *
+                ((rc.num_vertices() + static_cast<std::uint64_t>(c.size()) - 1) /
+                 static_cast<std::uint64_t>(c.size())) +
+            t.local_id();
+        local.push_back({src, dst});
+      });
+    }
+    auto all = c.all_gatherv(std::span<const edge64>(local), nullptr);
+    std::sort(all.begin(), all.end(), gen::by_src_dst{});
+    EXPECT_EQ(all, expected);
+  });
+}
+
+TEST_P(Graph1dP, LocateIsConsistent) {
+  const int p = GetParam();
+  launch(p, [](comm& c) {
+    std::vector<edge64> mine;
+    if (c.rank() == 0) {
+      mine = {{0, 5}, {5, 9}, {9, 0}, {3, 7}};
+    }
+    graph_1d g(c, mine, 10);
+    for (std::uint64_t v = 0; v < 10; ++v) {
+      const auto loc = g.locate(v);
+      if (loc.owner() == c.rank()) {
+        const auto slot = g.slot_of(loc);
+        ASSERT_TRUE(slot.has_value());
+        EXPECT_EQ(g.global_id_of(*slot), v);
+      }
+    }
+  });
+}
+
+TEST_P(Graph1dP, HubConcentratesOnOneRank) {
+  // The failure mode Figure 12 demonstrates: a hub's whole adjacency list
+  // lands on a single partition.
+  const int p = GetParam();
+  if (p == 1) return;
+  launch(p, [p](comm& c) {
+    std::vector<edge64> mine;
+    if (c.rank() == 0) {
+      for (std::uint64_t t = 1; t <= 300; ++t) mine.push_back({0, t});
+    }
+    graph_1d g(c, mine, 301);
+    const auto counts =
+        c.all_gather(static_cast<std::uint64_t>(g.local_edge_count()));
+    // Rank 0 owns vertex 0 and thus >= 300 of the 600 directed edges.
+    EXPECT_GE(counts[0], 300u);
+    const double imb = util::imbalance(counts);
+    EXPECT_GE(imb, 1.5);
+  });
+}
+
+TEST_P(Graph1dP, RowsSortedForBinarySearch) {
+  const int p = GetParam();
+  const gen::rmat_config rc{.scale = 6, .edge_factor = 8, .seed = 9};
+  launch(p, [&](comm& c) {
+    const auto range = gen::slice_for_rank(rc.num_edges(), c.rank(), c.size());
+    graph_1d g(c, gen::rmat_slice(rc, range.begin, range.end),
+               rc.num_vertices());
+    for (std::size_t s = 0; s < g.num_slots(); ++s) {
+      vertex_locator prev;
+      bool first = true;
+      g.for_each_out_edge(s, [&](vertex_locator t) {
+        if (!first) {
+          EXPECT_TRUE(prev < t || prev == t);
+        }
+        prev = t;
+        first = false;
+        EXPECT_TRUE(g.has_local_out_edge(s, t));
+      });
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, Graph1dP, ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace sfg::graph

@@ -1,0 +1,76 @@
+#include "graph/partition_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gen/generators.hpp"
+#include "util/stats.hpp"
+
+namespace sfg::graph {
+namespace {
+
+using gen::edge64;
+
+TEST(PartitionMetrics, OneDAssignsWholeAdjacency) {
+  // 8 vertices, 2 partitions: vertices 0-3 on p0, 4-7 on p1.
+  const std::vector<edge64> edges{{0, 7}, {1, 2}, {3, 4}, {4, 0}, {7, 7}};
+  const auto counts = edges_per_partition_1d(edges, 8, 2);
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], 3u);
+  EXPECT_EQ(counts[1], 2u);
+}
+
+TEST(PartitionMetrics, TwoDAssignsByBlock) {
+  // 4 vertices, 4 partitions on a 2x2 grid; blocks of 2 vertices.
+  const std::vector<edge64> edges{{0, 0}, {0, 3}, {3, 0}, {2, 2}};
+  const auto counts = edges_per_partition_2d(edges, 4, 4);
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 1u);  // (0,0)
+  EXPECT_EQ(counts[1], 1u);  // (0,3) -> block (0,1)
+  EXPECT_EQ(counts[2], 1u);  // (3,0) -> block (1,0)
+  EXPECT_EQ(counts[3], 1u);  // (2,2) -> block (1,1)
+}
+
+TEST(PartitionMetrics, CountsSumToEdges) {
+  gen::rmat_config rc{.scale = 10, .edge_factor = 8, .seed = 1};
+  const auto edges = gen::rmat_slice(rc, 0, rc.num_edges());
+  for (const int p : {2, 4, 8, 16, 64}) {
+    const auto c1 = edges_per_partition_1d(edges, rc.num_vertices(), p);
+    const auto c2 = edges_per_partition_2d(edges, rc.num_vertices(), p);
+    const auto ce = edges_per_partition_edge_list(edges.size(), p);
+    const auto sum = [](const std::vector<std::uint64_t>& v) {
+      return std::accumulate(v.begin(), v.end(), std::uint64_t{0});
+    };
+    EXPECT_EQ(sum(c1), edges.size());
+    EXPECT_EQ(sum(c2), edges.size());
+    EXPECT_EQ(sum(ce), edges.size());
+  }
+}
+
+TEST(PartitionMetrics, PaperFigure2Ordering) {
+  // The qualitative result of Figure 2: for scale-free graphs,
+  // imbalance(1D) > imbalance(2D) > imbalance(edge list) ~= 1.
+  gen::rmat_config rc{.scale = 14, .edge_factor = 16, .seed = 2};
+  const auto edges = gen::rmat_slice(rc, 0, rc.num_edges());
+  for (const int p : {16, 64}) {
+    const double i1 =
+        util::imbalance(edges_per_partition_1d(edges, rc.num_vertices(), p));
+    const double i2 =
+        util::imbalance(edges_per_partition_2d(edges, rc.num_vertices(), p));
+    const double ie =
+        util::imbalance(edges_per_partition_edge_list(edges.size(), p));
+    EXPECT_GT(i1, i2) << "p=" << p;
+    EXPECT_GT(i2, ie) << "p=" << p;
+    EXPECT_NEAR(ie, 1.0, 1e-9);
+    EXPECT_GT(i1, 1.3) << "1D should be noticeably imbalanced on RMAT";
+  }
+}
+
+TEST(PartitionMetrics, EdgeListExactSplit) {
+  const auto counts = edges_per_partition_edge_list(10, 4);
+  EXPECT_EQ(counts, (std::vector<std::uint64_t>{3, 3, 2, 2}));
+}
+
+}  // namespace
+}  // namespace sfg::graph

@@ -1,0 +1,116 @@
+#include "graph/subgraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/kcore.hpp"
+#include "gen/generators.hpp"
+#include "reference/serial_graph.hpp"
+#include "runtime/runtime.hpp"
+
+namespace sfg::graph {
+namespace {
+
+using gen::edge64;
+using runtime::comm;
+using runtime::launch;
+
+TEST(Subgraph, KCoreExtractionMatchesSerial) {
+  // Full pipeline: k-core decompose, extract the core's induced edges,
+  // rebuild a distributed graph from them, and verify it equals the
+  // serial reference's induced subgraph.
+  gen::rmat_config rc{.scale = 8, .edge_factor = 8, .seed = 71};
+  const auto edges = gen::rmat_slice(rc, 0, rc.num_edges());
+  constexpr std::uint32_t kK = 6;
+
+  const auto ref = reference::serial_graph::from_edges(edges);
+  const auto alive = reference::serial_kcore(ref, kK);
+  // Serial induced edge list of the core.
+  std::vector<edge64> expected;
+  for (std::uint64_t u = 0; u < ref.num_vertices(); ++u) {
+    if (!alive[u]) continue;
+    for (const auto v : ref.neighbors(u)) {
+      if (alive[v]) expected.push_back({u, v});
+    }
+  }
+  std::sort(expected.begin(), expected.end(), gen::by_src_dst{});
+  ASSERT_FALSE(expected.empty());
+
+  launch(4, [&](comm& c) {
+    const auto range = gen::slice_for_rank(edges.size(), c.rank(), 4);
+    std::vector<edge64> mine(
+        edges.begin() + static_cast<std::ptrdiff_t>(range.begin),
+        edges.begin() + static_cast<std::ptrdiff_t>(range.end));
+    auto g = build_in_memory_graph(c, mine, {});
+    auto core = core::run_kcore(g, kK, {});
+
+    auto sub_edges = extract_induced_edges(g, [&](std::size_t s) {
+      return core.state.local(s).alive;
+    });
+    auto all = c.all_gatherv(std::span<const edge64>(sub_edges), nullptr);
+    std::sort(all.begin(), all.end(), gen::by_src_dst{});
+    EXPECT_EQ(all, expected);
+
+    // Rebuild: every vertex of the new graph has degree >= k.
+    graph_build_config gcfg;
+    gcfg.undirected = false;  // extraction already emitted both directions
+    auto core_graph = build_in_memory_graph(c, sub_edges, gcfg);
+    EXPECT_EQ(core_graph.total_edges(), expected.size());
+    for (std::size_t s = 0; s < core_graph.num_slots(); ++s) {
+      if (core_graph.is_master(s)) {
+        EXPECT_GE(core_graph.degree_of(s), kK);
+      }
+    }
+  });
+}
+
+TEST(Subgraph, KeepNothingYieldsEmpty) {
+  launch(2, [](comm& c) {
+    std::vector<edge64> mine;
+    if (c.rank() == 0) mine = {{0, 1}, {1, 2}};
+    auto g = build_in_memory_graph(c, mine, {});
+    auto sub = extract_induced_edges(g, [](std::size_t) { return false; });
+    EXPECT_TRUE(sub.empty());
+  });
+}
+
+TEST(Subgraph, KeepEverythingReproducesGraph) {
+  gen::rmat_config rc{.scale = 6, .edge_factor = 8, .seed = 72};
+  const auto edges = gen::rmat_slice(rc, 0, rc.num_edges());
+  const auto ref = reference::serial_graph::from_edges(edges);
+  launch(3, [&](comm& c) {
+    const auto range = gen::slice_for_rank(edges.size(), c.rank(), 3);
+    std::vector<edge64> mine(
+        edges.begin() + static_cast<std::ptrdiff_t>(range.begin),
+        edges.begin() + static_cast<std::ptrdiff_t>(range.end));
+    auto g = build_in_memory_graph(c, mine, {});
+    auto sub = extract_induced_edges(g, [](std::size_t) { return true; });
+    const auto total = c.all_reduce(
+        static_cast<std::uint64_t>(sub.size()), std::plus<>());
+    EXPECT_EQ(total, ref.num_edges());
+  });
+}
+
+TEST(Subgraph, SplitHubSlicesEmitExactlyOnce) {
+  // Hub spanning partitions: each slice emits its own part; the union
+  // must contain each hub edge exactly once.
+  std::vector<edge64> edges;
+  for (std::uint64_t t = 1; t <= 200; ++t) edges.push_back({0, t});
+  launch(4, [&](comm& c) {
+    const auto range = gen::slice_for_rank(edges.size(), c.rank(), 4);
+    std::vector<edge64> mine(
+        edges.begin() + static_cast<std::ptrdiff_t>(range.begin),
+        edges.begin() + static_cast<std::ptrdiff_t>(range.end));
+    auto g = build_in_memory_graph(c, mine, {});
+    ASSERT_FALSE(g.split_table().empty());
+    auto sub = extract_induced_edges(g, [](std::size_t) { return true; });
+    auto all = c.all_gatherv(std::span<const edge64>(sub), nullptr);
+    std::sort(all.begin(), all.end(), gen::by_src_dst{});
+    EXPECT_TRUE(std::adjacent_find(all.begin(), all.end()) == all.end());
+    EXPECT_EQ(all.size(), 400u);  // both directions of 200 edges
+  });
+}
+
+}  // namespace
+}  // namespace sfg::graph

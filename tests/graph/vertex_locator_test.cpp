@@ -1,0 +1,54 @@
+#include "graph/vertex_locator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace sfg::graph {
+namespace {
+
+TEST(VertexLocator, PacksAndUnpacks) {
+  const vertex_locator v(12, 0x123456789aULL);
+  EXPECT_EQ(v.owner(), 12);
+  EXPECT_EQ(v.local_id(), 0x123456789aULL);
+  EXPECT_TRUE(v.valid());
+}
+
+TEST(VertexLocator, MaxFieldsFit) {
+  const vertex_locator v(0xfffe, (std::uint64_t{1} << 48) - 2);
+  EXPECT_EQ(v.owner(), 0xfffe);
+  EXPECT_EQ(v.local_id(), (std::uint64_t{1} << 48) - 2);
+}
+
+TEST(VertexLocator, DefaultIsInvalid) {
+  const vertex_locator v;
+  EXPECT_FALSE(v.valid());
+  EXPECT_EQ(v, vertex_locator::invalid());
+}
+
+TEST(VertexLocator, OrderIsOwnerMajor) {
+  // Total order: owner first, then local id — replicas and masters agree
+  // on triangle-order comparisons with no communication.
+  EXPECT_LT(vertex_locator(0, 100), vertex_locator(1, 0));
+  EXPECT_LT(vertex_locator(3, 5), vertex_locator(3, 6));
+  EXPECT_GT(vertex_locator(4, 0), vertex_locator(3, 999));
+}
+
+TEST(VertexLocator, BitsRoundTrip) {
+  const vertex_locator v(7, 42);
+  EXPECT_EQ(vertex_locator::from_bits(v.bits()), v);
+}
+
+TEST(VertexLocator, HashSpreads) {
+  vertex_locator_hash h;
+  std::unordered_set<std::size_t> hashes;
+  for (int owner = 0; owner < 8; ++owner) {
+    for (std::uint64_t id = 0; id < 100; ++id) {
+      hashes.insert(h(vertex_locator(owner, id)));
+    }
+  }
+  EXPECT_EQ(hashes.size(), 800u);
+}
+
+}  // namespace
+}  // namespace sfg::graph

@@ -1,0 +1,145 @@
+#include "io/edge_list_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "gen/generators.hpp"
+#include "runtime/runtime.hpp"
+
+namespace sfg::io {
+namespace {
+
+using gen::edge64;
+using runtime::comm;
+using runtime::launch;
+
+std::string tmp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::vector<edge64> sample_edges(std::size_t n) {
+  gen::rmat_config cfg{.scale = 10, .edge_factor = 4, .seed = 3};
+  return gen::rmat_slice(cfg, 0, n);
+}
+
+TEST(BinaryEdges, RoundTrip) {
+  const auto path = tmp_path("sfg_bin_rt.bin");
+  const auto edges = sample_edges(1000);
+  write_binary_edges(path, edges);
+  EXPECT_EQ(read_binary_edges(path), edges);
+  std::filesystem::remove(path);
+}
+
+TEST(BinaryEdges, EmptyFile) {
+  const auto path = tmp_path("sfg_bin_empty.bin");
+  write_binary_edges(path, {});
+  EXPECT_TRUE(read_binary_edges(path).empty());
+  std::filesystem::remove(path);
+}
+
+TEST(BinaryEdges, RejectsCorruptSize) {
+  const auto path = tmp_path("sfg_bin_bad.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "12345";  // 5 bytes: not a multiple of 16
+  }
+  EXPECT_THROW(read_binary_edges(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(BinaryEdges, MissingFileThrows) {
+  EXPECT_THROW(read_binary_edges("/nonexistent/sfg.bin"),
+               std::runtime_error);
+}
+
+class DistributedIoP : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistributedIoP, BinarySlicesCoverExactly) {
+  const int p = GetParam();
+  const auto path = tmp_path("sfg_bin_dist.bin");
+  const auto edges = sample_edges(1013);  // not divisible by p
+  write_binary_edges(path, edges);
+  launch(p, [&](comm& c) {
+    const auto mine = read_binary_edges_distributed(c, path);
+    const auto all = c.all_gatherv(std::span<const edge64>(mine), nullptr);
+    EXPECT_EQ(all, edges);  // rank order concatenation == original file
+  });
+  std::filesystem::remove(path);
+}
+
+TEST_P(DistributedIoP, DistributedWriteReadRoundTrip) {
+  const int p = GetParam();
+  const auto path = tmp_path("sfg_bin_dwrite.bin");
+  launch(p, [&](comm& c) {
+    // Each rank contributes a distinct, identifiable slice.
+    std::vector<edge64> mine;
+    for (int i = 0; i < 100 + c.rank(); ++i) {
+      mine.push_back({static_cast<std::uint64_t>(c.rank()),
+                      static_cast<std::uint64_t>(i)});
+    }
+    write_binary_edges_distributed(c, path, mine);
+    const auto back = read_binary_edges(path);
+    // File = concatenation in rank order.
+    std::size_t off = 0;
+    for (int r = 0; r < c.size(); ++r) {
+      for (int i = 0; i < 100 + r; ++i) {
+        ASSERT_EQ(back[off].src, static_cast<std::uint64_t>(r));
+        ASSERT_EQ(back[off].dst, static_cast<std::uint64_t>(i));
+        ++off;
+      }
+    }
+    EXPECT_EQ(off, back.size());
+    c.barrier();
+  });
+  std::filesystem::remove(path);
+}
+
+TEST_P(DistributedIoP, TextSlicesParseEveryLineOnce) {
+  const int p = GetParam();
+  const auto path = tmp_path("sfg_txt_dist.txt");
+  const auto edges = sample_edges(523);
+  write_text_edges(path, edges);
+  launch(p, [&](comm& c) {
+    const auto mine = read_text_edges_distributed(c, path);
+    auto all = c.all_gatherv(std::span<const edge64>(mine), nullptr);
+    // Ranks may split lines unevenly but the multiset must be exact; the
+    // boundary rule also preserves order of concatenation.
+    EXPECT_EQ(all, edges);
+  });
+  std::filesystem::remove(path);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, DistributedIoP,
+                         ::testing::Values(1, 2, 3, 7, 8));
+
+TEST(TextEdges, RoundTripWithCommentsAndBlanks) {
+  const auto path = tmp_path("sfg_txt_rt.txt");
+  {
+    std::ofstream out(path);
+    out << "# SNAP-style header\n";
+    out << "% matrix-market-style comment\n";
+    out << "\n";
+    out << "1 2\n";
+    out << "   3    4   \n";
+    out << "5 6\n";
+  }
+  const auto edges = read_text_edges(path);
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], (gen::edge64{1, 2}));
+  EXPECT_EQ(edges[1], (gen::edge64{3, 4}));
+  EXPECT_EQ(edges[2], (gen::edge64{5, 6}));
+  std::filesystem::remove(path);
+}
+
+TEST(TextEdges, WriteThenReadLarge) {
+  const auto path = tmp_path("sfg_txt_large.txt");
+  const auto edges = sample_edges(2000);
+  write_text_edges(path, edges);
+  EXPECT_EQ(read_text_edges(path), edges);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace sfg::io

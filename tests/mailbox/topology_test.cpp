@@ -1,0 +1,89 @@
+#include "mailbox/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sfg::mailbox {
+namespace {
+
+TEST(Router, PaperFigure4Example) {
+  // 16 ranks on a 4x4 grid: a message from rank 11 to rank 5 is first
+  // routed through rank 9 (paper Figure 4).
+  const router r(topology::grid2d, 16);
+  EXPECT_EQ(r.next_hop(11, 5), 9);
+  EXPECT_EQ(r.next_hop(9, 5), 5);
+  EXPECT_EQ(r.num_hops(11, 5), 2);
+}
+
+TEST(Router, DirectAlwaysOneHop) {
+  const router r(topology::direct, 10);
+  for (int a = 0; a < 10; ++a) {
+    for (int b = 0; b < 10; ++b) {
+      if (a == b) continue;
+      EXPECT_EQ(r.next_hop(a, b), b);
+      EXPECT_EQ(r.num_hops(a, b), 1);
+    }
+  }
+}
+
+class RouterAllPairs
+    : public ::testing::TestWithParam<std::tuple<topology, int>> {};
+
+TEST_P(RouterAllPairs, EveryRouteTerminatesWithinMaxHops) {
+  const auto [topo, p] = GetParam();
+  const router r(topo, p);
+  for (int a = 0; a < p; ++a) {
+    for (int b = 0; b < p; ++b) {
+      if (a == b) continue;
+      const int hops = r.num_hops(a, b);
+      EXPECT_GE(hops, 1);
+      EXPECT_LE(hops, r.max_hops()) << topology_name(topo) << " " << a
+                                    << "->" << b;
+    }
+  }
+}
+
+TEST_P(RouterAllPairs, NextHopsStayInRange) {
+  const auto [topo, p] = GetParam();
+  const router r(topo, p);
+  for (int a = 0; a < p; ++a) {
+    for (int b = 0; b < p; ++b) {
+      if (a == b) continue;
+      const int h = r.next_hop(a, b);
+      EXPECT_GE(h, 0);
+      EXPECT_LT(h, p);
+      EXPECT_NE(h, a) << "route must make progress";
+    }
+  }
+}
+
+TEST_P(RouterAllPairs, ChannelCountMatchesObservedNextHops) {
+  const auto [topo, p] = GetParam();
+  const router r(topo, p);
+  for (int a = 0; a < p; ++a) {
+    std::set<int> hops;
+    for (int b = 0; b < p; ++b) {
+      if (a == b) continue;
+      hops.insert(r.next_hop(a, b));
+    }
+    EXPECT_EQ(static_cast<int>(hops.size()), r.num_channels(a))
+        << topology_name(topo) << " p=" << p << " rank=" << a;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TopologiesAndSizes, RouterAllPairs,
+    ::testing::Combine(::testing::Values(topology::direct, topology::grid2d,
+                                         topology::torus3d),
+                       ::testing::Values(1, 2, 3, 4, 6, 8, 12, 16, 27, 36,
+                                         64)));
+
+TEST(Router, ChannelReductionIsSignificant) {
+  // The point of 2D routing (paper §III-B): O(sqrt p) channels instead of
+  // O(p).  At p = 64: direct = 63 channels, 2D = 14, 3D = 9.
+  EXPECT_EQ(router(topology::direct, 64).num_channels(0), 63);
+  EXPECT_EQ(router(topology::grid2d, 64).num_channels(0), 14);
+  EXPECT_EQ(router(topology::torus3d, 64).num_channels(0), 9);
+}
+
+}  // namespace
+}  // namespace sfg::mailbox

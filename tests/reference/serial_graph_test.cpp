@@ -1,0 +1,95 @@
+#include "reference/serial_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "graph/builder.hpp"  // edge_weight_of
+
+namespace sfg::reference {
+namespace {
+
+constexpr auto kInf = std::numeric_limits<std::uint64_t>::max();
+
+serial_graph triangle_with_tail() {
+  // 0-1-2 triangle, tail 2-3-4.
+  return serial_graph::from_edges({{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}});
+}
+
+TEST(SerialGraph, BuildCleansInput) {
+  const auto g =
+      serial_graph::from_edges({{0, 1}, {0, 1}, {1, 0}, {2, 2}, {1, 2}});
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 4u);  // {0,1} and {1,2}, both directions
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(2, 2));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(SerialBfs, LevelsOnKnownGraph) {
+  const auto g = triangle_with_tail();
+  const auto levels = serial_bfs(g, 0);
+  EXPECT_EQ(levels[0], 0u);
+  EXPECT_EQ(levels[1], 1u);
+  EXPECT_EQ(levels[2], 1u);
+  EXPECT_EQ(levels[3], 2u);
+  EXPECT_EQ(levels[4], 3u);
+}
+
+TEST(SerialBfs, UnreachableIsInf) {
+  const auto g = serial_graph::from_edges({{0, 1}, {3, 4}});
+  const auto levels = serial_bfs(g, 0);
+  EXPECT_EQ(levels[3], kInf);
+  EXPECT_EQ(levels[4], kInf);
+}
+
+TEST(SerialBfsDepth, MatchesEccentricity) {
+  const auto g = triangle_with_tail();
+  EXPECT_EQ(serial_bfs_depth(g, 0), 3u);
+  EXPECT_EQ(serial_bfs_depth(g, 2), 2u);
+}
+
+TEST(SerialKcore, TriangleWithTail) {
+  const auto g = triangle_with_tail();
+  const auto core2 = serial_kcore(g, 2);
+  EXPECT_TRUE(core2[0]);
+  EXPECT_TRUE(core2[1]);
+  EXPECT_TRUE(core2[2]);
+  EXPECT_FALSE(core2[3]);
+  EXPECT_FALSE(core2[4]);
+}
+
+TEST(SerialTriangles, CountsKnownGraphs) {
+  EXPECT_EQ(serial_triangle_count(triangle_with_tail()), 1u);
+  const auto k4 = serial_graph::from_edges(
+      {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}});
+  EXPECT_EQ(serial_triangle_count(k4), 4u);
+}
+
+TEST(SerialComponents, LabelsAreComponentMinima) {
+  const auto g = serial_graph::from_edges({{0, 1}, {1, 2}, {5, 6}});
+  const auto labels = serial_components(g);
+  EXPECT_EQ(labels[0], 0u);
+  EXPECT_EQ(labels[1], 0u);
+  EXPECT_EQ(labels[2], 0u);
+  EXPECT_EQ(labels[5], 5u);
+  EXPECT_EQ(labels[6], 5u);
+}
+
+TEST(SerialSssp, MatchesHandComputation) {
+  // Weights are deterministic; check basic invariants instead of values:
+  // dist[source] = 0, triangle inequality on edges.
+  const auto g = triangle_with_tail();
+  const auto dist = serial_sssp(g, 0, 7);
+  EXPECT_EQ(dist[0], 0u);
+  for (std::uint64_t v = 0; v < g.num_vertices(); ++v) {
+    for (const auto n : g.neighbors(v)) {
+      if (dist[v] == kInf) continue;
+      EXPECT_LE(dist[n], dist[v] + graph::edge_weight_of(v, n, 7));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sfg::reference

@@ -1,0 +1,171 @@
+#include "runtime/comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+
+namespace sfg::runtime {
+namespace {
+
+constexpr int kTag = 3;
+
+TEST(Comm, WorldSizeAndRanks) {
+  launch(4, [](comm& c) {
+    EXPECT_EQ(c.size(), 4);
+    EXPECT_GE(c.rank(), 0);
+    EXPECT_LT(c.rank(), 4);
+  });
+}
+
+TEST(Comm, SingleRankWorldWorks) {
+  launch(1, [](comm& c) {
+    EXPECT_EQ(c.size(), 1);
+    c.send_value(0, kTag, 42);
+    message m;
+    ASSERT_TRUE(c.try_recv(m));
+    EXPECT_EQ(m.as<int>(), 42);
+    EXPECT_EQ(m.source, 0);
+  });
+}
+
+TEST(Comm, PointToPointDelivers) {
+  launch(2, [](comm& c) {
+    if (c.rank() == 0) {
+      c.send_value(1, kTag, std::uint64_t{12345});
+    } else {
+      message m;
+      while (!c.try_recv(m)) {
+      }
+      EXPECT_EQ(m.source, 0);
+      EXPECT_EQ(m.tag, kTag);
+      EXPECT_EQ(m.as<std::uint64_t>(), 12345u);
+    }
+    c.barrier();
+  });
+}
+
+TEST(Comm, FifoPerSenderPair) {
+  constexpr int kCount = 500;
+  launch(2, [](comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < kCount; ++i) c.send_value(1, kTag, i);
+    } else {
+      int expected = 0;
+      message m;
+      while (expected < kCount) {
+        if (c.try_recv(m)) {
+          EXPECT_EQ(m.as<int>(), expected);
+          ++expected;
+        }
+      }
+    }
+    c.barrier();
+  });
+}
+
+TEST(Comm, AllToAllMessagesArrive) {
+  constexpr int kP = 8;
+  launch(kP, [](comm& c) {
+    // Everyone sends its rank to everyone (including itself).
+    for (int d = 0; d < c.size(); ++d) c.send_value(d, kTag, c.rank());
+    std::vector<bool> got(static_cast<std::size_t>(c.size()), false);
+    int received = 0;
+    message m;
+    while (received < c.size()) {
+      if (c.try_recv(m)) {
+        const int src = m.as<int>();
+        EXPECT_EQ(src, m.source);
+        EXPECT_FALSE(got[static_cast<std::size_t>(src)]);
+        got[static_cast<std::size_t>(src)] = true;
+        ++received;
+      }
+    }
+    c.barrier();
+  });
+}
+
+TEST(Comm, TrafficStatsCount) {
+  launch(2, [](comm& c) {
+    c.barrier();
+    if (c.rank() == 0) {
+      c.send_value(1, kTag, std::uint64_t{1});
+      c.send_value(1, kTag, std::uint64_t{2});
+      EXPECT_EQ(c.stats().messages_sent, 2u);
+      EXPECT_EQ(c.stats().bytes_sent, 16u);
+      EXPECT_EQ(c.sent_per_dest()[1], 2u);
+      EXPECT_EQ(c.sent_per_dest()[0], 0u);
+    }
+    c.barrier();
+    if (c.rank() == 1) {
+      message m;
+      while (c.stats().messages_received < 2) {
+        c.try_recv(m);
+      }
+      EXPECT_EQ(c.stats().bytes_received, 16u);
+    }
+    c.barrier();
+  });
+}
+
+TEST(Comm, ResetStatsZeroes) {
+  launch(2, [](comm& c) {
+    c.send_value((c.rank() + 1) % 2, kTag, 1);
+    c.reset_stats();
+    EXPECT_EQ(c.stats().messages_sent, 0u);
+    EXPECT_EQ(c.sent_per_dest()[0], 0u);
+    c.barrier();
+  });
+}
+
+TEST(Comm, InboxEmptyReflectsState) {
+  launch(2, [](comm& c) {
+    if (c.rank() == 1) {
+      EXPECT_TRUE(c.inbox_empty());
+    }
+    c.barrier();
+    if (c.rank() == 0) c.send_value(1, kTag, 9);
+    c.barrier();
+    if (c.rank() == 1) {
+      EXPECT_FALSE(c.inbox_empty());
+      message m;
+      EXPECT_TRUE(c.try_recv(m));
+      EXPECT_TRUE(c.inbox_empty());
+    }
+    c.barrier();
+  });
+}
+
+TEST(Runtime, ExceptionPropagatesToCaller) {
+  EXPECT_THROW(
+      launch(4,
+             [](comm& c) {
+               if (c.rank() == 2) throw std::logic_error("rank 2 failed");
+               // Other ranks block in a collective; the poison unblocks
+               // them instead of deadlocking the test.
+               c.barrier();
+             }),
+      std::logic_error);
+}
+
+TEST(Runtime, LaunchGatherReturnsPerRankValues) {
+  const auto vals = launch_gather<int>(5, [](comm& c) { return c.rank() * 10; });
+  ASSERT_EQ(vals.size(), 5u);
+  for (int r = 0; r < 5; ++r) EXPECT_EQ(vals[static_cast<std::size_t>(r)], r * 10);
+}
+
+TEST(Runtime, ManyRanksLaunch) {
+  std::atomic<int> count{0};
+  launch(32, [&](comm& c) {
+    count.fetch_add(1);
+    c.barrier();
+  });
+  EXPECT_EQ(count.load(), 32);
+}
+
+}  // namespace
+}  // namespace sfg::runtime

@@ -1,0 +1,83 @@
+#include "storage/mmap_device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "storage/page_cache.hpp"
+#include "storage/paged_array.hpp"
+#include "util/rng.hpp"
+
+namespace sfg::storage {
+namespace {
+
+std::string tmp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(MmapDevice, RoundTrip) {
+  const auto path = tmp_path("sfg_mmap_rt.bin");
+  {
+    mmap_device dev(path, 1 << 16);
+    std::vector<std::byte> data(10000);
+    util::xoshiro256 rng(1);
+    for (auto& b : data) b = static_cast<std::byte>(rng() & 0xff);
+    dev.write(128, data);
+    std::vector<std::byte> back(10000);
+    dev.read(128, back);
+    EXPECT_EQ(back, data);
+    dev.sync();
+  }
+  // Contents persist in the file after unmap.
+  {
+    mmap_device dev(path, 1 << 16);
+    std::vector<std::byte> back(4);
+    dev.read(128, back);
+    util::xoshiro256 rng(1);
+    for (const auto& b : back) EXPECT_EQ(b, static_cast<std::byte>(rng() & 0xff));
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(MmapDevice, ReadPastEndZeroFills) {
+  const auto path = tmp_path("sfg_mmap_eof.bin");
+  mmap_device dev(path, 64);
+  std::vector<std::byte> out(128, std::byte{0xff});
+  dev.read(0, out);
+  for (std::size_t i = 64; i < 128; ++i) EXPECT_EQ(out[i], std::byte{0});
+  std::filesystem::remove(path);
+}
+
+TEST(MmapDevice, WriteBeyondMappingThrows) {
+  const auto path = tmp_path("sfg_mmap_oob.bin");
+  mmap_device dev(path, 64);
+  std::vector<std::byte> data(65);
+  EXPECT_THROW(dev.write(0, data), std::out_of_range);
+  std::filesystem::remove(path);
+}
+
+TEST(MmapDevice, ZeroSizeRejected) {
+  EXPECT_THROW(mmap_device(tmp_path("sfg_mmap_zero.bin"), 0),
+               std::invalid_argument);
+}
+
+TEST(MmapDevice, WorksBehindPageCache) {
+  const auto path = tmp_path("sfg_mmap_cache.bin");
+  mmap_device dev(path, 1 << 16);
+  std::vector<std::uint64_t> values(2048);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = util::splitmix64(i);
+  }
+  write_array<std::uint64_t>(dev, 0, values);
+  page_cache cache(dev, {512, 8});
+  paged_array<std::uint64_t> arr(cache, 0, values.size());
+  util::xoshiro256 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const auto idx = rng.uniform_below(values.size());
+    ASSERT_EQ(arr[idx], values[idx]);
+  }
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace sfg::storage

@@ -1,0 +1,91 @@
+#include "util/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sfg::util {
+namespace {
+
+TEST(Bits, Log2Floor) {
+  EXPECT_EQ(log2_floor(1), 0u);
+  EXPECT_EQ(log2_floor(2), 1u);
+  EXPECT_EQ(log2_floor(3), 1u);
+  EXPECT_EQ(log2_floor(4), 2u);
+  EXPECT_EQ(log2_floor(1ULL << 40), 40u);
+  EXPECT_EQ(log2_floor((1ULL << 40) + 5), 40u);
+}
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ULL << 50));
+  EXPECT_FALSE(is_pow2((1ULL << 50) + 1));
+}
+
+TEST(Bits, CeilPow2) {
+  EXPECT_EQ(ceil_pow2(1), 1u);
+  EXPECT_EQ(ceil_pow2(2), 2u);
+  EXPECT_EQ(ceil_pow2(3), 4u);
+  EXPECT_EQ(ceil_pow2(1000), 1024u);
+}
+
+TEST(Bits, DivCeil) {
+  EXPECT_EQ(div_ceil(0, 4), 0u);
+  EXPECT_EQ(div_ceil(1, 4), 1u);
+  EXPECT_EQ(div_ceil(4, 4), 1u);
+  EXPECT_EQ(div_ceil(5, 4), 2u);
+}
+
+TEST(Bits, NearSquareFactors) {
+  auto s16 = near_square_factors(16);
+  EXPECT_EQ(s16.rows, 4);
+  EXPECT_EQ(s16.cols, 4);
+
+  auto s12 = near_square_factors(12);
+  EXPECT_EQ(s12.rows, 3);
+  EXPECT_EQ(s12.cols, 4);
+
+  auto s7 = near_square_factors(7);  // prime: degenerates to 1 x p
+  EXPECT_EQ(s7.rows, 1);
+  EXPECT_EQ(s7.cols, 7);
+
+  auto s1 = near_square_factors(1);
+  EXPECT_EQ(s1.rows, 1);
+  EXPECT_EQ(s1.cols, 1);
+}
+
+TEST(Bits, NearSquareFactorsProductInvariant) {
+  for (int p = 1; p <= 200; ++p) {
+    const auto s = near_square_factors(p);
+    EXPECT_EQ(s.rows * s.cols, p);
+    EXPECT_LE(s.rows, s.cols);
+  }
+}
+
+TEST(Bits, NearCubeFactors) {
+  auto c8 = near_cube_factors(8);
+  EXPECT_EQ(c8.x, 2);
+  EXPECT_EQ(c8.y, 2);
+  EXPECT_EQ(c8.z, 2);
+
+  auto c64 = near_cube_factors(64);
+  EXPECT_EQ(c64.x, 4);
+  EXPECT_EQ(c64.y, 4);
+  EXPECT_EQ(c64.z, 4);
+
+  auto c12 = near_cube_factors(12);
+  EXPECT_EQ(c12.x * c12.y * c12.z, 12);
+}
+
+TEST(Bits, NearCubeFactorsProductInvariant) {
+  for (int p = 1; p <= 200; ++p) {
+    const auto c = near_cube_factors(p);
+    EXPECT_EQ(c.x * c.y * c.z, p);
+    EXPECT_LE(c.x, c.y);
+    EXPECT_LE(c.y, c.z);
+  }
+}
+
+}  // namespace
+}  // namespace sfg::util

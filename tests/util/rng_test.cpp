@@ -1,0 +1,115 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace sfg::util {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  EXPECT_EQ(splitmix64(0), splitmix64(0));
+  EXPECT_EQ(splitmix64(42), splitmix64(42));
+  EXPECT_NE(splitmix64(0), splitmix64(1));
+}
+
+TEST(SplitMix64, KnownVector) {
+  // Reference values for the standard splitmix64 (state starts at seed,
+  // first output after adding the golden gamma).
+  EXPECT_EQ(splitmix64(0), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(splitmix64(1), 0x910a2dec89025cc1ULL);
+}
+
+TEST(Xoshiro256, SameSeedSameSequence) {
+  xoshiro256 a(123);
+  xoshiro256 b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiffer) {
+  xoshiro256 a(1);
+  xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro256, ZeroSeedIsValid) {
+  xoshiro256 g(0);
+  // State must not be all-zero (which would be a fixed point).
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(g());
+  EXPECT_GT(seen.size(), 90u);
+}
+
+TEST(Xoshiro256, UniformBelowRespectsBound) {
+  xoshiro256 g(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(g.uniform_below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256, UniformBelowOneIsAlwaysZero) {
+  xoshiro256 g(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(g.uniform_below(1), 0u);
+}
+
+TEST(Xoshiro256, UniformBelowIsRoughlyUniform) {
+  xoshiro256 g(11);
+  constexpr std::uint64_t kBuckets = 8;
+  constexpr int kSamples = 80000;
+  std::array<int, kBuckets> counts{};
+  for (int i = 0; i < kSamples; ++i) {
+    counts[g.uniform_below(kBuckets)]++;
+  }
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  for (const int c : counts) {
+    EXPECT_NEAR(c, expected, expected * 0.1);
+  }
+}
+
+TEST(Xoshiro256, UniformRealInUnitInterval) {
+  xoshiro256 g(13);
+  double sum = 0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = g.uniform_real();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, BernoulliMatchesProbability) {
+  xoshiro256 g(17);
+  constexpr int kSamples = 50000;
+  for (const double p : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    int hits = 0;
+    for (int i = 0; i < kSamples; ++i) {
+      if (g.bernoulli(p)) ++hits;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / kSamples, p, 0.01) << "p=" << p;
+  }
+}
+
+TEST(MakeStream, StreamsAreIndependent) {
+  auto a = make_stream(42, 0);
+  auto b = make_stream(42, 1);
+  auto c = make_stream(42, 0);
+  EXPECT_NE(a(), b());
+  auto a2 = make_stream(42, 0);
+  (void)c;
+  xoshiro256 fresh = make_stream(42, 0);
+  EXPECT_EQ(a2(), fresh());
+}
+
+}  // namespace
+}  // namespace sfg::util

@@ -1,0 +1,88 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace sfg::util {
+namespace {
+
+TEST(Summary, EmptyInput) {
+  const summary s = summarize(std::span<const double>{});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Summary, SingleValue) {
+  const std::vector<double> v{5.0};
+  const summary s = summarize(std::span<const double>(v));
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.min, 5.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Summary, KnownDistribution) {
+  const std::vector<std::uint64_t> v{2, 4, 4, 4, 5, 5, 7, 9};
+  const summary s = summarize(std::span<const std::uint64_t>(v));
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(Imbalance, PerfectlyBalanced) {
+  const std::vector<std::uint64_t> v{100, 100, 100, 100};
+  EXPECT_DOUBLE_EQ(imbalance(v), 1.0);
+}
+
+TEST(Imbalance, WorstPartitionDominates) {
+  // One partition has 4x the mean.
+  const std::vector<std::uint64_t> v{400, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(imbalance(v), 4.0);
+}
+
+TEST(Imbalance, EmptyOrZeroIsOne) {
+  EXPECT_DOUBLE_EQ(imbalance(std::span<const std::uint64_t>{}), 1.0);
+  const std::vector<std::uint64_t> zeros{0, 0, 0};
+  EXPECT_DOUBLE_EQ(imbalance(zeros), 1.0);
+}
+
+TEST(Log2Histogram, BucketsByPowerOfTwo) {
+  log2_histogram h;
+  h.add(0);
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(4);
+  h.add(1023);
+  h.add(1024);
+  EXPECT_EQ(h.bucket_count(0), 2u);  // values 0 and 1
+  EXPECT_EQ(h.bucket_count(1), 2u);  // values 2, 3
+  EXPECT_EQ(h.bucket_count(2), 1u);  // value 4
+  EXPECT_EQ(h.bucket_count(9), 1u);  // 1023 in [512, 1024)
+  EXPECT_EQ(h.bucket_count(10), 1u);
+  EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(Log2Histogram, WeightsAccumulate) {
+  log2_histogram h;
+  h.add(16, 10);
+  h.add(17, 5);
+  EXPECT_EQ(h.bucket_count(4), 15u);
+  EXPECT_EQ(h.total(), 15u);
+}
+
+TEST(Log2Histogram, ToStringRendersAllBuckets) {
+  log2_histogram h;
+  h.add(1);
+  h.add(100);
+  const std::string s = h.to_string();
+  EXPECT_NE(s.find("[0, 1]"), std::string::npos);
+  EXPECT_NE(s.find("[64, 127]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sfg::util

@@ -1,0 +1,42 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sfg::util {
+namespace {
+
+TEST(Table, PrintsHeaderAndRows) {
+  table t({"scale", "teps"});
+  t.row().add(20).add(1.5, 2);
+  t.row().add(21).add(3.25, 2);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("scale"), std::string::npos);
+  EXPECT_NE(s.find("teps"), std::string::npos);
+  EXPECT_NE(s.find("1.50"), std::string::npos);
+  EXPECT_NE(s.find("3.25"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  table t({"a", "b"});
+  t.row().add(std::uint64_t{7}).add("x");
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n7,x\n");
+}
+
+TEST(Table, ColumnsAligned) {
+  table t({"x", "value"});
+  t.row().add(1).add(std::uint64_t{1000000});
+  std::ostringstream os;
+  t.print(os);
+  // Header cell "x" padded to width of widest cell in column 0.
+  const std::string s = os.str();
+  EXPECT_NE(s.find("1000000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sfg::util

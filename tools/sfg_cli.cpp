@@ -1,0 +1,345 @@
+/// \file sfg_cli.cpp
+/// Command-line driver for the sfg library: generate synthetic graphs to
+/// edge-list files, inspect them, and run any of the distributed
+/// algorithms over them.
+///
+///   sfg_cli generate --model rmat|pa|sw --scale S [--rewire R]
+///           [--seed N] --out FILE [--text]
+///   sfg_cli info FILE
+///   sfg_cli bfs FILE [--ranks P] [--source GID] [--ghosts K] [--validate]
+///   sfg_cli kcore FILE --k K [--ranks P]
+///   sfg_cli triangles FILE [--ranks P] [--approx SAMPLES]
+///   sfg_cli components FILE [--ranks P]
+///   sfg_cli pagerank FILE [--ranks P] [--eps E]
+///
+/// FILEs ending in .txt are treated as text edge lists, anything else as
+/// the packed binary format (io/edge_list_io.hpp).
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/bfs.hpp"
+#include "core/bfs_validate.hpp"
+#include "core/connected_components.hpp"
+#include "core/kcore.hpp"
+#include "core/pagerank.hpp"
+#include "core/triangles.hpp"
+#include "core/wedge_sampling.hpp"
+#include "gen/generators.hpp"
+#include "graph/distributed_graph.hpp"
+#include "io/edge_list_io.hpp"
+#include "runtime/runtime.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+struct args_map {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+  std::map<std::string, bool> flags;
+
+  [[nodiscard]] std::string opt(const std::string& key,
+                                const std::string& def) const {
+    const auto it = options.find(key);
+    return it == options.end() ? def : it->second;
+  }
+  [[nodiscard]] std::uint64_t opt_u64(const std::string& key,
+                                      std::uint64_t def) const {
+    const auto it = options.find(key);
+    return it == options.end() ? def : std::stoull(it->second);
+  }
+  [[nodiscard]] double opt_f64(const std::string& key, double def) const {
+    const auto it = options.find(key);
+    return it == options.end() ? def : std::stod(it->second);
+  }
+  [[nodiscard]] bool flag(const std::string& key) const {
+    return flags.contains(key);
+  }
+};
+
+args_map parse_args(int argc, char** argv, int first) {
+  args_map out;
+  for (int i = first; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      const std::string key = a.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        out.options[key] = argv[++i];
+      } else {
+        out.flags[key] = true;
+      }
+    } else {
+      out.positional.push_back(a);
+    }
+  }
+  return out;
+}
+
+bool is_text_path(const std::string& path) {
+  return path.size() > 4 && path.substr(path.size() - 4) == ".txt";
+}
+
+std::vector<sfg::gen::edge64> load_edges(const std::string& path) {
+  return is_text_path(path) ? sfg::io::read_text_edges(path)
+                            : sfg::io::read_binary_edges(path);
+}
+
+std::vector<sfg::gen::edge64> load_edges_distributed(
+    sfg::runtime::comm& c, const std::string& path) {
+  return is_text_path(path)
+             ? sfg::io::read_text_edges_distributed(c, path)
+             : sfg::io::read_binary_edges_distributed(c, path);
+}
+
+int usage() {
+  std::cerr
+      << "usage: sfg_cli <command> [args]\n"
+         "  generate --model rmat|pa|sw --scale S [--rewire R] [--seed N]\n"
+         "           --out FILE [--text]\n"
+         "  info FILE\n"
+         "  bfs FILE [--ranks P] [--source GID] [--ghosts K] [--validate]\n"
+         "  kcore FILE --k K [--ranks P]\n"
+         "  triangles FILE [--ranks P] [--approx SAMPLES]\n"
+         "  components FILE [--ranks P]\n"
+         "  pagerank FILE [--ranks P] [--eps E]\n";
+  return 2;
+}
+
+int cmd_generate(const args_map& a) {
+  const std::string model = a.opt("model", "rmat");
+  const auto scale = static_cast<unsigned>(a.opt_u64("scale", 14));
+  const double rewire = a.opt_f64("rewire", 0.0);
+  const std::uint64_t seed = a.opt_u64("seed", 1);
+  const std::string out = a.opt("out", "");
+  if (out.empty()) return usage();
+
+  std::vector<sfg::gen::edge64> edges;
+  if (model == "rmat") {
+    sfg::gen::rmat_config cfg{.scale = scale, .edge_factor = 16, .seed = seed};
+    edges = sfg::gen::rmat_slice(cfg, 0, cfg.num_edges());
+  } else if (model == "pa") {
+    sfg::gen::pa_config cfg{.num_vertices = std::uint64_t{1} << scale,
+                            .edges_per_vertex = 8,
+                            .rewire = rewire,
+                            .seed = seed};
+    edges = sfg::gen::pa_slice(cfg, 0, cfg.num_edges());
+  } else if (model == "sw") {
+    sfg::gen::sw_config cfg{.num_vertices = std::uint64_t{1} << scale,
+                            .degree = 16,
+                            .rewire = rewire,
+                            .seed = seed};
+    edges = sfg::gen::sw_slice(cfg, 0, cfg.num_edges());
+  } else {
+    return usage();
+  }
+  if (a.flag("text") || is_text_path(out)) {
+    sfg::io::write_text_edges(out, edges);
+  } else {
+    sfg::io::write_binary_edges(out, edges);
+  }
+  std::cout << "wrote " << edges.size() << " edges (" << model << ", scale "
+            << scale << ") to " << out << "\n";
+  return 0;
+}
+
+int cmd_info(const args_map& a) {
+  if (a.positional.empty()) return usage();
+  const auto edges = load_edges(a.positional[0]);
+  std::map<std::uint64_t, std::uint64_t> degree;
+  std::uint64_t max_v = 0;
+  std::uint64_t self_loops = 0;
+  for (const auto& e : edges) {
+    ++degree[e.src];
+    ++degree[e.dst];
+    max_v = std::max({max_v, e.src, e.dst});
+    if (e.src == e.dst) ++self_loops;
+  }
+  sfg::util::log2_histogram hist;
+  std::uint64_t max_deg = 0;
+  for (const auto& [v, d] : degree) {
+    hist.add(d);
+    max_deg = std::max(max_deg, d);
+  }
+  std::cout << "edges:       " << edges.size() << "\n"
+            << "vertices:    " << degree.size() << " touched (ids up to "
+            << max_v << ")\n"
+            << "self loops:  " << self_loops << "\n"
+            << "max degree:  " << max_deg << "\n"
+            << "degree histogram (log2 buckets):\n"
+            << hist.to_string();
+  return 0;
+}
+
+template <typename Fn>
+int with_graph(const args_map& a, std::uint32_t ghosts, Fn&& fn) {
+  if (a.positional.empty()) return usage();
+  const auto path = a.positional[0];
+  const int p = static_cast<int>(a.opt_u64("ranks", 4));
+  int rc = 0;
+  sfg::runtime::launch(p, [&](sfg::runtime::comm& c) {
+    auto edges = load_edges_distributed(c, path);
+    auto g = sfg::graph::build_in_memory_graph(c, std::move(edges),
+                                               {.num_ghosts = ghosts});
+    rc = fn(c, g);
+  });
+  return rc;
+}
+
+int cmd_bfs(const args_map& a) {
+  return with_graph(a, static_cast<std::uint32_t>(a.opt_u64("ghosts", 256)),
+                    [&](sfg::runtime::comm& c, auto& g) {
+    auto source = g.locate(a.opt_u64("source", 0));
+    if (!source.valid()) {
+      // Fall back to the max-degree vertex (collective choice).
+      struct cand {
+        std::uint64_t degree;
+        std::uint64_t inv_bits;
+      };
+      cand best{0, 0};
+      for (std::size_t s = 0; s < g.num_slots(); ++s) {
+        if (!g.is_master(s)) continue;
+        const cand x{g.degree_of(s), ~g.locator_of(s).bits()};
+        if (x.degree > best.degree ||
+            (x.degree == best.degree && x.inv_bits > best.inv_bits)) {
+          best = x;
+        }
+      }
+      const auto w = c.all_reduce(best, [](cand l, cand r) {
+        if (l.degree != r.degree) return l.degree > r.degree ? l : r;
+        return l.inv_bits > r.inv_bits ? l : r;
+      });
+      source = sfg::graph::vertex_locator::from_bits(~w.inv_bits);
+    }
+    sfg::util::timer t;
+    auto bfs = sfg::core::run_bfs(g, source, {});
+    const double secs = t.elapsed_s();
+    std::uint64_t reached = 0;
+    std::uint64_t traversed = 0;
+    for (std::size_t s = 0; s < g.num_slots(); ++s) {
+      if (g.is_master(s) && bfs.state.local(s).reached()) {
+        ++reached;
+        traversed += g.degree_of(s);
+      }
+    }
+    reached = c.all_reduce(reached, std::plus<>());
+    traversed = c.all_reduce(traversed, std::plus<>()) / 2;
+    int rc = 0;
+    if (c.rank() == 0) {
+      std::cout << "bfs: reached " << reached << " of " << g.total_vertices()
+                << " vertices in " << secs << " s ("
+                << (secs > 0 ? static_cast<double>(traversed) / secs / 1e6
+                             : 0)
+                << " MTEPS)\n";
+    }
+    if (a.flag("validate")) {
+      const auto v = sfg::core::validate_bfs(g, source, bfs.state, {});
+      if (c.rank() == 0) {
+        std::cout << "validation: " << (v.valid ? "PASSED" : "FAILED")
+                  << " (" << v.tree_edges_found << "/"
+                  << v.tree_edges_expected << " tree edges)\n";
+      }
+      if (!v.valid) rc = 1;
+    }
+    return rc;
+  });
+}
+
+int cmd_kcore(const args_map& a) {
+  const auto k = static_cast<std::uint32_t>(a.opt_u64("k", 2));
+  return with_graph(a, 0, [&](sfg::runtime::comm& c, auto& g) {
+    sfg::util::timer t;
+    auto result = sfg::core::run_kcore(g, k, {});
+    if (c.rank() == 0) {
+      std::cout << k << "-core: " << result.core_size << " of "
+                << g.total_vertices() << " vertices (" << t.elapsed_s()
+                << " s)\n";
+    }
+    return 0;
+  });
+}
+
+int cmd_triangles(const args_map& a) {
+  const auto approx = a.opt_u64("approx", 0);
+  return with_graph(a, 0, [&](sfg::runtime::comm& c, auto& g) {
+    sfg::util::timer t;
+    if (approx > 0) {
+      const auto est = sfg::core::approx_triangle_count(g, approx, 7);
+      if (c.rank() == 0) {
+        std::cout << "triangles ~ " << est.estimated_triangles << " ("
+                  << est.samples << " wedge samples, " << t.elapsed_s()
+                  << " s)\n";
+      }
+    } else {
+      const auto exact = sfg::core::run_triangle_count(g, {});
+      if (c.rank() == 0) {
+        std::cout << "triangles = " << exact.total_triangles << " ("
+                  << t.elapsed_s() << " s)\n";
+      }
+    }
+    return 0;
+  });
+}
+
+int cmd_components(const args_map& a) {
+  return with_graph(a, 64, [&](sfg::runtime::comm& c, auto& g) {
+    sfg::util::timer t;
+    auto result = sfg::core::run_connected_components(g, {});
+    if (c.rank() == 0) {
+      std::cout << "components: " << result.num_components << " ("
+                << t.elapsed_s() << " s)\n";
+    }
+    return 0;
+  });
+}
+
+int cmd_pagerank(const args_map& a) {
+  const double eps = a.opt_f64("eps", 1e-6);
+  return with_graph(a, 0, [&](sfg::runtime::comm& c, auto& g) {
+    sfg::util::timer t;
+    auto result = sfg::core::run_pagerank(g, 0.85, eps, {});
+    // Top-5 by rank (gathered).
+    struct kv {
+      double rank;
+      std::uint64_t gid;
+    };
+    std::vector<kv> mine;
+    for (std::size_t s = 0; s < g.num_slots(); ++s) {
+      if (g.is_master(s)) {
+        mine.push_back({result.state.local(s).rank, g.global_id_of(s)});
+      }
+    }
+    auto all = c.all_gatherv(std::span<const kv>(mine), nullptr);
+    std::sort(all.begin(), all.end(),
+              [](const kv& x, const kv& y) { return x.rank > y.rank; });
+    if (c.rank() == 0) {
+      std::cout << "pagerank: total mass " << result.total_mass << " / "
+                << g.total_vertices() << " (" << t.elapsed_s() << " s)\n";
+      for (std::size_t i = 0; i < std::min<std::size_t>(5, all.size());
+           ++i) {
+        std::cout << "  #" << i + 1 << "  vertex " << all[i].gid
+                  << "  rank " << all[i].rank << "\n";
+      }
+    }
+    return 0;
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const auto a = parse_args(argc, argv, 2);
+  if (cmd == "generate") return cmd_generate(a);
+  if (cmd == "info") return cmd_info(a);
+  if (cmd == "bfs") return cmd_bfs(a);
+  if (cmd == "kcore") return cmd_kcore(a);
+  if (cmd == "triangles") return cmd_triangles(a);
+  if (cmd == "components") return cmd_components(a);
+  if (cmd == "pagerank") return cmd_pagerank(a);
+  return usage();
+}
