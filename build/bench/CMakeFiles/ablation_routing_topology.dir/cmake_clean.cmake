@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_routing_topology.dir/ablation_routing_topology.cpp.o"
+  "CMakeFiles/ablation_routing_topology.dir/ablation_routing_topology.cpp.o.d"
+  "ablation_routing_topology"
+  "ablation_routing_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_routing_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

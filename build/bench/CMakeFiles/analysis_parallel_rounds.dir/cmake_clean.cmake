@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_parallel_rounds.dir/analysis_parallel_rounds.cpp.o"
+  "CMakeFiles/analysis_parallel_rounds.dir/analysis_parallel_rounds.cpp.o.d"
+  "analysis_parallel_rounds"
+  "analysis_parallel_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_parallel_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

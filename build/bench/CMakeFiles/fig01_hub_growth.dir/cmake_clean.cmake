@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_hub_growth.dir/fig01_hub_growth.cpp.o"
+  "CMakeFiles/fig01_hub_growth.dir/fig01_hub_growth.cpp.o.d"
+  "fig01_hub_growth"
+  "fig01_hub_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_hub_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

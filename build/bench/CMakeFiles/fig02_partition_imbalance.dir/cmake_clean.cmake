@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_partition_imbalance.dir/fig02_partition_imbalance.cpp.o"
+  "CMakeFiles/fig02_partition_imbalance.dir/fig02_partition_imbalance.cpp.o.d"
+  "fig02_partition_imbalance"
+  "fig02_partition_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_partition_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

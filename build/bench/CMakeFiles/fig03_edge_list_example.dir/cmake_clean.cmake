@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_edge_list_example.dir/fig03_edge_list_example.cpp.o"
+  "CMakeFiles/fig03_edge_list_example.dir/fig03_edge_list_example.cpp.o.d"
+  "fig03_edge_list_example"
+  "fig03_edge_list_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_edge_list_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

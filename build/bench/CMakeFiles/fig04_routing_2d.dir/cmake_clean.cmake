@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_routing_2d.dir/fig04_routing_2d.cpp.o"
+  "CMakeFiles/fig04_routing_2d.dir/fig04_routing_2d.cpp.o.d"
+  "fig04_routing_2d"
+  "fig04_routing_2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_routing_2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

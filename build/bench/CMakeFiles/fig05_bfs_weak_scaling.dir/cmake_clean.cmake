@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_bfs_weak_scaling.dir/fig05_bfs_weak_scaling.cpp.o"
+  "CMakeFiles/fig05_bfs_weak_scaling.dir/fig05_bfs_weak_scaling.cpp.o.d"
+  "fig05_bfs_weak_scaling"
+  "fig05_bfs_weak_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_bfs_weak_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_diameter_effect.dir/fig10_diameter_effect.cpp.o"
+  "CMakeFiles/fig10_diameter_effect.dir/fig10_diameter_effect.cpp.o.d"
+  "fig10_diameter_effect"
+  "fig10_diameter_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_diameter_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_degree_effect_triangles.dir/fig11_degree_effect_triangles.cpp.o"
+  "CMakeFiles/fig11_degree_effect_triangles.dir/fig11_degree_effect_triangles.cpp.o.d"
+  "fig11_degree_effect_triangles"
+  "fig11_degree_effect_triangles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_degree_effect_triangles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_edgelist_vs_1d.dir/fig12_edgelist_vs_1d.cpp.o"
+  "CMakeFiles/fig12_edgelist_vs_1d.dir/fig12_edgelist_vs_1d.cpp.o.d"
+  "fig12_edgelist_vs_1d"
+  "fig12_edgelist_vs_1d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_edgelist_vs_1d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig13_ghost_sweep.cpp" "bench/CMakeFiles/fig13_ghost_sweep.dir/fig13_ghost_sweep.cpp.o" "gcc" "bench/CMakeFiles/fig13_ghost_sweep.dir/fig13_ghost_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/sfg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/sfg_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sfg_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/reference/CMakeFiles/sfg_reference.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sfg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mailbox/CMakeFiles/sfg_mailbox.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/sfg_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

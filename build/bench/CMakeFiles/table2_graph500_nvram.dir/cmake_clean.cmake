@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_graph500_nvram.dir/table2_graph500_nvram.cpp.o"
+  "CMakeFiles/table2_graph500_nvram.dir/table2_graph500_nvram.cpp.o.d"
+  "table2_graph500_nvram"
+  "table2_graph500_nvram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_graph500_nvram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

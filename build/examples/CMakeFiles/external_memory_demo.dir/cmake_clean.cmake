@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/external_memory_demo.dir/external_memory_demo.cpp.o"
+  "CMakeFiles/external_memory_demo.dir/external_memory_demo.cpp.o.d"
+  "external_memory_demo"
+  "external_memory_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/external_memory_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph500_runner.dir/graph500_runner.cpp.o"
+  "CMakeFiles/graph500_runner.dir/graph500_runner.cpp.o.d"
+  "graph500_runner"
+  "graph500_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph500_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfg_gen.dir/generators.cpp.o"
+  "CMakeFiles/sfg_gen.dir/generators.cpp.o.d"
+  "libsfg_gen.a"
+  "libsfg_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfg_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

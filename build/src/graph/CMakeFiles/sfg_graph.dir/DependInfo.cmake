@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/builder.cpp" "src/graph/CMakeFiles/sfg_graph.dir/builder.cpp.o" "gcc" "src/graph/CMakeFiles/sfg_graph.dir/builder.cpp.o.d"
+  "/root/repo/src/graph/partition_1d.cpp" "src/graph/CMakeFiles/sfg_graph.dir/partition_1d.cpp.o" "gcc" "src/graph/CMakeFiles/sfg_graph.dir/partition_1d.cpp.o.d"
+  "/root/repo/src/graph/partition_metrics.cpp" "src/graph/CMakeFiles/sfg_graph.dir/partition_metrics.cpp.o" "gcc" "src/graph/CMakeFiles/sfg_graph.dir/partition_metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/sfg_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/sfg_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sfg_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sfg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfg_graph.dir/builder.cpp.o"
+  "CMakeFiles/sfg_graph.dir/builder.cpp.o.d"
+  "CMakeFiles/sfg_graph.dir/partition_1d.cpp.o"
+  "CMakeFiles/sfg_graph.dir/partition_1d.cpp.o.d"
+  "CMakeFiles/sfg_graph.dir/partition_metrics.cpp.o"
+  "CMakeFiles/sfg_graph.dir/partition_metrics.cpp.o.d"
+  "libsfg_graph.a"
+  "libsfg_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfg_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

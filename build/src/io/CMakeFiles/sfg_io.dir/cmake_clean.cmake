@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfg_io.dir/blueprint_io.cpp.o"
+  "CMakeFiles/sfg_io.dir/blueprint_io.cpp.o.d"
+  "CMakeFiles/sfg_io.dir/edge_list_io.cpp.o"
+  "CMakeFiles/sfg_io.dir/edge_list_io.cpp.o.d"
+  "libsfg_io.a"
+  "libsfg_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfg_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

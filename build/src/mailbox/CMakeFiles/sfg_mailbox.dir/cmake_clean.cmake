@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfg_mailbox.dir/routed_mailbox.cpp.o"
+  "CMakeFiles/sfg_mailbox.dir/routed_mailbox.cpp.o.d"
+  "libsfg_mailbox.a"
+  "libsfg_mailbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfg_mailbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfg_reference.dir/serial_graph.cpp.o"
+  "CMakeFiles/sfg_reference.dir/serial_graph.cpp.o.d"
+  "libsfg_reference.a"
+  "libsfg_reference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfg_reference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfg_runtime.dir/comm.cpp.o"
+  "CMakeFiles/sfg_runtime.dir/comm.cpp.o.d"
+  "CMakeFiles/sfg_runtime.dir/runtime.cpp.o"
+  "CMakeFiles/sfg_runtime.dir/runtime.cpp.o.d"
+  "CMakeFiles/sfg_runtime.dir/termination.cpp.o"
+  "CMakeFiles/sfg_runtime.dir/termination.cpp.o.d"
+  "libsfg_runtime.a"
+  "libsfg_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfg_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

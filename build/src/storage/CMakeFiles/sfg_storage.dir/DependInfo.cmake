@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/block_device.cpp" "src/storage/CMakeFiles/sfg_storage.dir/block_device.cpp.o" "gcc" "src/storage/CMakeFiles/sfg_storage.dir/block_device.cpp.o.d"
+  "/root/repo/src/storage/mmap_device.cpp" "src/storage/CMakeFiles/sfg_storage.dir/mmap_device.cpp.o" "gcc" "src/storage/CMakeFiles/sfg_storage.dir/mmap_device.cpp.o.d"
+  "/root/repo/src/storage/page_cache.cpp" "src/storage/CMakeFiles/sfg_storage.dir/page_cache.cpp.o" "gcc" "src/storage/CMakeFiles/sfg_storage.dir/page_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sfg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

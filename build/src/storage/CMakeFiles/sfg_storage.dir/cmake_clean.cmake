@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfg_storage.dir/block_device.cpp.o"
+  "CMakeFiles/sfg_storage.dir/block_device.cpp.o.d"
+  "CMakeFiles/sfg_storage.dir/mmap_device.cpp.o"
+  "CMakeFiles/sfg_storage.dir/mmap_device.cpp.o.d"
+  "CMakeFiles/sfg_storage.dir/page_cache.cpp.o"
+  "CMakeFiles/sfg_storage.dir/page_cache.cpp.o.d"
+  "libsfg_storage.a"
+  "libsfg_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfg_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

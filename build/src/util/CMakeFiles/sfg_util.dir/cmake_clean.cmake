@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfg_util.dir/log.cpp.o"
+  "CMakeFiles/sfg_util.dir/log.cpp.o.d"
+  "CMakeFiles/sfg_util.dir/stats.cpp.o"
+  "CMakeFiles/sfg_util.dir/stats.cpp.o.d"
+  "CMakeFiles/sfg_util.dir/table.cpp.o"
+  "CMakeFiles/sfg_util.dir/table.cpp.o.d"
+  "libsfg_util.a"
+  "libsfg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/analytics_test.cpp" "tests/CMakeFiles/test_core.dir/core/analytics_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/analytics_test.cpp.o.d"
+  "/root/repo/tests/core/bfs_test.cpp" "tests/CMakeFiles/test_core.dir/core/bfs_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/bfs_test.cpp.o.d"
+  "/root/repo/tests/core/bfs_validate_test.cpp" "tests/CMakeFiles/test_core.dir/core/bfs_validate_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/bfs_validate_test.cpp.o.d"
+  "/root/repo/tests/core/core_decomposition_test.cpp" "tests/CMakeFiles/test_core.dir/core/core_decomposition_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/core_decomposition_test.cpp.o.d"
+  "/root/repo/tests/core/external_memory_test.cpp" "tests/CMakeFiles/test_core.dir/core/external_memory_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/external_memory_test.cpp.o.d"
+  "/root/repo/tests/core/kcore_test.cpp" "tests/CMakeFiles/test_core.dir/core/kcore_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/kcore_test.cpp.o.d"
+  "/root/repo/tests/core/pagerank_test.cpp" "tests/CMakeFiles/test_core.dir/core/pagerank_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/pagerank_test.cpp.o.d"
+  "/root/repo/tests/core/sssp_cc_test.cpp" "tests/CMakeFiles/test_core.dir/core/sssp_cc_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/sssp_cc_test.cpp.o.d"
+  "/root/repo/tests/core/triangles_test.cpp" "tests/CMakeFiles/test_core.dir/core/triangles_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/triangles_test.cpp.o.d"
+  "/root/repo/tests/core/visitor_queue_test.cpp" "tests/CMakeFiles/test_core.dir/core/visitor_queue_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/visitor_queue_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/sfg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/reference/CMakeFiles/sfg_reference.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sfg_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/mailbox/CMakeFiles/sfg_mailbox.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/sfg_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/sfg_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sfg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/analytics_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/analytics_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/bfs_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/bfs_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/bfs_validate_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/bfs_validate_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/core_decomposition_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/core_decomposition_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/external_memory_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/external_memory_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/kcore_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/kcore_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/pagerank_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/pagerank_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/sssp_cc_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/sssp_cc_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/triangles_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/triangles_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/visitor_queue_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/visitor_queue_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

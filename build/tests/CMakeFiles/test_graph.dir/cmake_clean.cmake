@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph.dir/graph/builder_fuzz_test.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/builder_fuzz_test.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/builder_test.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/builder_test.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/partition_1d_test.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/partition_1d_test.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/partition_metrics_test.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/partition_metrics_test.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/vertex_locator_test.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/vertex_locator_test.cpp.o.d"
+  "test_graph"
+  "test_graph.pdb"
+  "test_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

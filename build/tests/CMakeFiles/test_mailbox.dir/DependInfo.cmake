@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mailbox/routed_mailbox_test.cpp" "tests/CMakeFiles/test_mailbox.dir/mailbox/routed_mailbox_test.cpp.o" "gcc" "tests/CMakeFiles/test_mailbox.dir/mailbox/routed_mailbox_test.cpp.o.d"
+  "/root/repo/tests/mailbox/topology_test.cpp" "tests/CMakeFiles/test_mailbox.dir/mailbox/topology_test.cpp.o" "gcc" "tests/CMakeFiles/test_mailbox.dir/mailbox/topology_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mailbox/CMakeFiles/sfg_mailbox.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/sfg_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sfg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

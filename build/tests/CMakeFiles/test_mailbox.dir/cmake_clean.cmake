@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mailbox.dir/mailbox/routed_mailbox_test.cpp.o"
+  "CMakeFiles/test_mailbox.dir/mailbox/routed_mailbox_test.cpp.o.d"
+  "CMakeFiles/test_mailbox.dir/mailbox/topology_test.cpp.o"
+  "CMakeFiles/test_mailbox.dir/mailbox/topology_test.cpp.o.d"
+  "test_mailbox"
+  "test_mailbox.pdb"
+  "test_mailbox[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mailbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

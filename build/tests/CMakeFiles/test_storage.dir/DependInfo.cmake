@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/storage/block_device_test.cpp" "tests/CMakeFiles/test_storage.dir/storage/block_device_test.cpp.o" "gcc" "tests/CMakeFiles/test_storage.dir/storage/block_device_test.cpp.o.d"
+  "/root/repo/tests/storage/mmap_device_test.cpp" "tests/CMakeFiles/test_storage.dir/storage/mmap_device_test.cpp.o" "gcc" "tests/CMakeFiles/test_storage.dir/storage/mmap_device_test.cpp.o.d"
+  "/root/repo/tests/storage/page_cache_test.cpp" "tests/CMakeFiles/test_storage.dir/storage/page_cache_test.cpp.o" "gcc" "tests/CMakeFiles/test_storage.dir/storage/page_cache_test.cpp.o.d"
+  "/root/repo/tests/storage/paged_array_test.cpp" "tests/CMakeFiles/test_storage.dir/storage/paged_array_test.cpp.o" "gcc" "tests/CMakeFiles/test_storage.dir/storage/paged_array_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/sfg_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sfg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfg_cli.dir/sfg_cli.cpp.o"
+  "CMakeFiles/sfg_cli.dir/sfg_cli.cpp.o.d"
+  "sfg_cli"
+  "sfg_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfg_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
