@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <queue>
+#include <thread>
 #include <type_traits>
 #include <vector>
 
@@ -58,6 +59,13 @@ struct queue_config {
   /// Local visitors executed between mailbox polls.
   int batch_size = 64;
   order_tiebreak tiebreak = order_tiebreak::vertex_locality;
+  /// Fault injection for this traversal (runtime/fault.hpp): the stall
+  /// knobs make this rank sleep mid-traversal between poll iterations,
+  /// deterministically per (faults.seed, rank, iteration).  Transport
+  /// faults (delay/reorder/duplicate) are a property of the world the
+  /// graph's comm lives in; carrying the same struct here lets the chaos
+  /// harness hand one schedule to both layers.  Inert by default.
+  runtime::fault_params faults{};
 };
 
 struct traversal_stats {
@@ -72,6 +80,7 @@ struct traversal_stats {
   std::uint64_t mailbox_packets = 0;    ///< aggregated packets emitted
   std::uint64_t mailbox_forwarded = 0;  ///< records relayed (routing hops)
   std::uint64_t mailbox_packet_bytes = 0;
+  std::uint64_t mailbox_dropped_duplicates = 0;  ///< replayed packets dropped
 };
 
 template <typename Graph, typename Visitor, typename State>
@@ -107,6 +116,10 @@ class visitor_queue {
   /// Collective: all ranks must call (after pushing initial visitors).
   void do_traversal() {
     runtime::tree_termination term(graph_->comm(), cfg_.control_tag);
+    const bool chaos_on = cfg_.faults.enabled() && cfg_.faults.stall_prob > 0;
+    util::chaos_stream chaos(cfg_.faults.seed,
+                             0x51A11u ^ static_cast<std::uint64_t>(
+                                            graph_->rank()));
     auto deliver = [this](int /*origin*/, std::span<const std::byte> bytes) {
       Visitor v;
       std::memcpy(&v, bytes.data(), sizeof(Visitor));
@@ -115,6 +128,13 @@ class visitor_queue {
 
     runtime::comm& c = graph_->comm();
     for (;;) {
+      // Injected rank stall: this rank sleeps mid-traversal while the
+      // others keep running — the adversarial scheduling that quiescence
+      // detection and replica forwarding must survive.
+      if (chaos_on && chaos.decide(cfg_.faults.stall_prob)) {
+        std::this_thread::sleep_for(
+            chaos.duration_up_to(cfg_.faults.max_stall));
+      }
       // Receive: control messages feed the detector, data packets feed
       // the mailbox (which delivers local records and re-forwards
       // in-transit ones).
@@ -151,6 +171,7 @@ class visitor_queue {
     stats_.mailbox_packets = mailbox_.stats().packets_sent;
     stats_.mailbox_forwarded = mailbox_.stats().records_forwarded;
     stats_.mailbox_packet_bytes = mailbox_.stats().packet_bytes_sent;
+    stats_.mailbox_dropped_duplicates = mailbox_.stats().packets_dropped_duplicate;
     // Epoch boundary: without this, a fast rank could start a *new*
     // traversal and its records would land in a slow rank's still-running
     // old loop — consumed against the old queue's counters and lost to

@@ -9,7 +9,9 @@ routed_mailbox::routed_mailbox(runtime::comm& c, config cfg)
     : comm_(&c),
       cfg_(cfg),
       router_(cfg.topo, c.size()),
-      channels_(static_cast<std::size_t>(c.size())) {}
+      channels_(static_cast<std::size_t>(c.size())),
+      next_packet_seq_(static_cast<std::size_t>(c.size()), 0),
+      seen_packet_seq_(static_cast<std::size_t>(c.size())) {}
 
 void routed_mailbox::send(int final_dest, std::span<const std::byte> record) {
   ++stats_.records_sent;
@@ -26,6 +28,11 @@ void routed_mailbox::route_record(std::uint32_t origin, int final_dest,
   }
   const int hop = router_.next_hop(comm_->rank(), final_dest);
   auto& buf = channels_[static_cast<std::size_t>(hop)];
+  if (buf.empty()) {
+    // Reserve room for the packet header; the sequence number is stamped
+    // at flush time so buffers never carry a stale one.
+    buf.resize(sizeof(packet_header));
+  }
   const record_header hdr{static_cast<std::uint32_t>(final_dest), origin,
                           static_cast<std::uint32_t>(record.size())};
   const auto* hdr_bytes = reinterpret_cast<const std::byte*>(&hdr);
@@ -37,6 +44,8 @@ void routed_mailbox::route_record(std::uint32_t origin, int final_dest,
 void routed_mailbox::flush_channel(int next_hop) {
   auto& buf = channels_[static_cast<std::size_t>(next_hop)];
   if (buf.empty()) return;
+  const packet_header ph{next_packet_seq_[static_cast<std::size_t>(next_hop)]++};
+  std::memcpy(buf.data(), &ph, sizeof(ph));
   comm_->send(next_hop, cfg_.tag, buf);
   ++stats_.packets_sent;
   stats_.packet_bytes_sent += buf.size();
@@ -75,8 +84,18 @@ std::size_t routed_mailbox::drain_local(const delivery_handler& deliver) {
 std::size_t routed_mailbox::process_packet(const runtime::message& m,
                                            const delivery_handler& deliver) {
   assert(m.tag == cfg_.tag);
+  assert(m.payload.size() >= sizeof(packet_header));
+  packet_header ph;
+  std::memcpy(&ph, m.payload.data(), sizeof(ph));
+  auto& seen = seen_packet_seq_[static_cast<std::size_t>(m.source)];
+  if (!seen.insert(ph.seq).second) {
+    // Transport replay (fault layer): this packet was already consumed;
+    // replaying it would double-deliver every record inside.
+    ++stats_.packets_dropped_duplicate;
+    return 0;
+  }
   std::size_t delivered = 0;
-  std::size_t off = 0;
+  std::size_t off = sizeof(packet_header);
   const std::byte* data = m.payload.data();
   const std::size_t total = m.payload.size();
   while (off < total) {

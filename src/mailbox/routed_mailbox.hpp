@@ -10,11 +10,19 @@
 /// and feeds packets with the mailbox's tag to process_packet().  This
 /// mirrors how the paper multiplexes visitor traffic and termination-
 /// detection control traffic over one transport.
+///
+/// Every packet opens with a per-(sender, receiver) sequence number, and
+/// process_packet() drops packets whose sequence it has already seen.
+/// This gives the mailbox exactly-once record semantics over an
+/// at-least-once transport — required for the fault-injection layer
+/// (runtime/fault.hpp), which may duplicate messages in flight, and for
+/// the exact-count algorithms (k-core) that cannot tolerate replays.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <unordered_set>
 #include <vector>
 
 #include "mailbox/topology.hpp"
@@ -70,11 +78,18 @@ class routed_mailbox {
     std::uint64_t records_forwarded = 0;  ///< records relayed through here
     std::uint64_t packets_sent = 0;       ///< aggregated packets emitted
     std::uint64_t packet_bytes_sent = 0;
+    std::uint64_t packets_dropped_duplicate = 0;  ///< transport replays dropped
   };
   [[nodiscard]] const mailbox_stats& stats() const noexcept { return stats_; }
   void reset_stats() { stats_ = mailbox_stats{}; }
 
  private:
+  /// First bytes of every packet: the per-(sender, this-receiver) sequence
+  /// number used for duplicate suppression.
+  struct packet_header {
+    std::uint64_t seq;
+  };
+
   struct record_header {
     std::uint32_t final_dest;
     std::uint32_t origin;
@@ -97,6 +112,14 @@ class routed_mailbox {
     std::vector<std::byte> bytes;
   };
   std::vector<local_record> local_pending_;
+  /// Next packet sequence number toward each next hop; a (sender, hop)
+  /// pair is a unique channel, so a per-hop counter gives receiver-unique
+  /// packet ids.
+  std::vector<std::uint64_t> next_packet_seq_;
+  /// Packet sequence numbers already consumed, per source rank.  Unbounded
+  /// by design: the transport may reorder arbitrarily, so no watermark is
+  /// safe, and 8 bytes per packet is noise next to the records themselves.
+  std::vector<std::unordered_set<std::uint64_t>> seen_packet_seq_;
   mailbox_stats stats_;
 };
 

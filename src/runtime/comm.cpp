@@ -6,10 +6,12 @@
 
 namespace sfg::runtime {
 
-world::world(int num_ranks, net_params net)
+world::world(int num_ranks, net_params net, fault_params faults)
     : coll_slots_(static_cast<std::size_t>(num_ranks)),
       barrier_(num_ranks),
-      net_(net) {
+      net_(net),
+      faults_(faults),
+      faults_on_(faults.enabled()) {
   if (num_ranks <= 0) throw std::invalid_argument("world: num_ranks must be > 0");
   endpoints_.reserve(static_cast<std::size_t>(num_ranks));
   for (int r = 0; r < num_ranks; ++r) {
@@ -33,7 +35,8 @@ void world::poison() { barrier_.poison(); }
 comm::comm(world& w, int rank)
     : world_(&w),
       rank_(rank),
-      sent_per_dest_(static_cast<std::size_t>(w.size()), 0) {}
+      sent_per_dest_(static_cast<std::size_t>(w.size()), 0),
+      fault_stream_(w.faults_.seed, static_cast<std::uint64_t>(rank)) {}
 
 void comm::send(int dest, int tag, std::span<const std::byte> data) {
   assert(dest >= 0 && dest < size());
@@ -44,12 +47,14 @@ void comm::send(int dest, int tag, std::span<const std::byte> data) {
                                 world_->net_.per_byte *
                                     static_cast<std::int64_t>(data.size()));
   }
-  auto& ep = *world_->endpoints_[static_cast<std::size_t>(dest)];
   message m;
   m.source = rank_;
   m.tag = tag;
   m.payload.assign(data.begin(), data.end());
-  {
+  if (world_->faults_on_) {
+    fault_send(dest, std::move(m));
+  } else {
+    auto& ep = *world_->endpoints_[static_cast<std::size_t>(dest)];
     const std::scoped_lock lock(ep.mu);
     ep.inbox.push_back(std::move(m));
   }
@@ -58,9 +63,62 @@ void comm::send(int dest, int tag, std::span<const std::byte> data) {
   ++sent_per_dest_[static_cast<std::size_t>(dest)];
 }
 
+void comm::fault_send(int dest, message m) {
+  const fault_params& f = world_->faults_;
+  // Draw every decision before touching the endpoint so the decision
+  // sequence depends only on this rank's send order, not on lock timing.
+  if (fault_stream_.decide(f.stall_prob)) {
+    std::this_thread::sleep_for(fault_stream_.duration_up_to(f.max_stall));
+  }
+  const int copies = fault_stream_.decide(f.duplicate_prob) ? 2 : 1;
+  struct plan {
+    bool delay;
+    std::chrono::nanoseconds delay_by;
+    bool reorder;
+    std::uint64_t position;
+  };
+  plan plans[2];
+  for (int i = 0; i < copies; ++i) {
+    plans[i].delay = fault_stream_.decide(f.delay_prob);
+    plans[i].delay_by = fault_stream_.duration_up_to(f.max_delay);
+    plans[i].reorder = fault_stream_.decide(f.reorder_prob);
+    plans[i].position = fault_stream_.below(1u << 20);
+  }
+  auto& ep = *world_->endpoints_[static_cast<std::size_t>(dest)];
+  const auto now = std::chrono::steady_clock::now();
+  const std::scoped_lock lock(ep.mu);
+  for (int i = 0; i < copies; ++i) {
+    message copy = (i + 1 < copies) ? m : std::move(m);
+    if (plans[i].delay) {
+      ep.delayed.push_back({now + plans[i].delay_by, std::move(copy)});
+    } else if (plans[i].reorder && !ep.inbox.empty()) {
+      const auto at = static_cast<std::ptrdiff_t>(
+          plans[i].position % (ep.inbox.size() + 1));
+      ep.inbox.insert(ep.inbox.begin() + at, std::move(copy));
+    } else {
+      ep.inbox.push_back(std::move(copy));
+    }
+  }
+}
+
+void comm::promote_ripe_locked(world::endpoint& ep) {
+  if (ep.delayed.empty()) return;
+  const auto now = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < ep.delayed.size();) {
+    if (ep.delayed[i].ready <= now) {
+      ep.inbox.push_back(std::move(ep.delayed[i].msg));
+      ep.delayed[i] = std::move(ep.delayed.back());
+      ep.delayed.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
 bool comm::try_recv(message& out) {
   auto& ep = *world_->endpoints_[static_cast<std::size_t>(rank_)];
   const std::scoped_lock lock(ep.mu);
+  if (world_->faults_on_) promote_ripe_locked(ep);
   if (ep.inbox.empty()) return false;
   out = std::move(ep.inbox.front());
   ep.inbox.pop_front();
@@ -72,7 +130,9 @@ bool comm::try_recv(message& out) {
 bool comm::inbox_empty() const {
   auto& ep = *world_->endpoints_[static_cast<std::size_t>(rank_)];
   const std::scoped_lock lock(ep.mu);
-  return ep.inbox.empty();
+  // A fault-delayed message still counts as waiting: the rank is not idle
+  // while deliveries are parked for it.
+  return ep.inbox.empty() && ep.delayed.empty();
 }
 
 void comm::publish(const void* data, std::size_t bytes) {

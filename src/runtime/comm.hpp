@@ -25,7 +25,9 @@
 #include <vector>
 
 #include "runtime/barrier.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/message.hpp"
+#include "util/chaos.hpp"
 
 namespace sfg::runtime {
 
@@ -48,8 +50,10 @@ struct net_params {
 
 class world {
  public:
-  /// Create a world of `num_ranks` communicating ranks.
-  explicit world(int num_ranks, net_params net = {});
+  /// Create a world of `num_ranks` communicating ranks.  `faults`
+  /// optionally injects transport-level misbehavior (delay / reorder /
+  /// duplicate / stall) per send; all-zero (the default) is inert.
+  explicit world(int num_ranks, net_params net = {}, fault_params faults = {});
   ~world();
 
   world(const world&) = delete;
@@ -70,6 +74,13 @@ class world {
   struct endpoint {
     std::mutex mu;
     std::deque<message> inbox;
+    /// Fault layer only: messages whose injected delivery delay has not
+    /// elapsed yet.  Promoted into the inbox by the owner's next poll.
+    struct parked {
+      std::chrono::steady_clock::time_point ready;
+      message msg;
+    };
+    std::vector<parked> delayed;
   };
 
   /// What a rank publishes during a collective: a pointer to its
@@ -84,6 +95,8 @@ class world {
   std::vector<coll_slot> coll_slots_;
   poison_barrier barrier_;
   net_params net_;
+  fault_params faults_;
+  bool faults_on_ = false;  ///< cached so the send fast path is one branch
   std::vector<std::unique_ptr<comm>> comms_;
 };
 
@@ -96,6 +109,11 @@ class comm {
 
   [[nodiscard]] int rank() const noexcept { return rank_; }
   [[nodiscard]] int size() const noexcept { return world_->size(); }
+
+  /// The world's fault configuration (all-zero when faults are off).
+  [[nodiscard]] const fault_params& faults() const noexcept {
+    return world_->faults_;
+  }
 
   // ---- non-blocking point-to-point ----
 
@@ -218,6 +236,14 @@ class comm {
   /// Publish this rank's collective contribution and wait for all.
   void publish(const void* data, std::size_t bytes);
 
+  /// Slow path of send(): apply stall / duplicate / delay / reorder fault
+  /// decisions and enqueue the message copies at `dest`.
+  void fault_send(int dest, message m);
+
+  /// Move fault-delayed messages whose release time has passed into the
+  /// inbox.  Caller holds ep.mu.
+  void promote_ripe_locked(world::endpoint& ep);
+
   template <typename T>
   T get_slot_value(int r) const {
     T out;
@@ -229,6 +255,9 @@ class comm {
   int rank_;
   traffic_stats stats_;
   std::vector<std::uint64_t> sent_per_dest_;
+  /// Per-rank fault decision stream: decision n is a pure function of
+  /// (fault seed, this rank, n), so a seed pins each rank's schedule.
+  util::chaos_stream fault_stream_;
 };
 
 }  // namespace sfg::runtime

@@ -1,0 +1,74 @@
+/// \file fault.hpp
+/// Fault injection for the in-process runtime — the adversarial-timing
+/// companion to net_params.  Where net_params models the *cost* of a real
+/// interconnect, fault_params models its *misbehavior*: per send it can
+///   - delay delivery by a bounded random amount (message parks in a
+///     holding area at the destination until its release time),
+///   - reorder the message within the destination inbox (breaking the
+///     per-source FIFO the benign scheduler otherwise provides),
+///   - duplicate the message (both copies delivered; higher layers must
+///     be idempotent — the routed mailbox dedups data packets by sequence
+///     number, and the termination detectors tolerate duplicated control
+///     messages),
+///   - stall the sending rank (a bounded sleep mid-traversal, simulating
+///     OS jitter / a preempted rank).
+///
+/// Determinism: every fault decision is drawn from a util::chaos_stream
+/// keyed by (seed, sending rank), so the decision sequence of each rank is
+/// a pure function of the seed and that rank's send order.  Thread
+/// interleaving still varies run to run — that is the point: a seed pins
+/// the fault *schedule* while the OS explores timings around it.  A
+/// failing chaos seed names a distribution that reliably exposes the bug,
+/// not a single exact interleaving (see DESIGN.md §2).
+///
+/// All-zero (default) fault_params are completely inert: comm::send takes
+/// one predicated branch on a bool cached at world construction, so the
+/// fault layer costs nothing when disabled.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "util/chaos.hpp"
+
+namespace sfg::runtime {
+
+struct fault_params {
+  std::uint64_t seed = 0;
+
+  // -- delivery faults (applied per message copy, at the destination) --
+  double delay_prob = 0.0;  ///< park the message until now + U[0, max_delay]
+  std::chrono::nanoseconds max_delay{0};
+  double reorder_prob = 0.0;  ///< insert at a random inbox position
+
+  // -- transport faults --
+  double duplicate_prob = 0.0;  ///< enqueue a second, independent copy
+
+  // -- rank faults (applied to the sender / the polling rank) --
+  double stall_prob = 0.0;  ///< sleep the rank for U[0, max_stall]
+  std::chrono::nanoseconds max_stall{0};
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return delay_prob > 0.0 || reorder_prob > 0.0 || duplicate_prob > 0.0 ||
+           stall_prob > 0.0;
+  }
+
+  /// Preset used by the chaos harness: derive a full adversarial schedule
+  /// from a single sweep seed.  Probabilities and magnitudes themselves
+  /// vary with the seed so a sweep explores mild jitter through heavy
+  /// duplication+delay storms, not N samples of one regime.
+  static fault_params chaos(std::uint64_t seed) {
+    util::chaos_stream knobs(seed, /*stream_id=*/0xC4A05);
+    fault_params f;
+    f.seed = seed;
+    f.delay_prob = 0.05 + 0.01 * static_cast<double>(knobs.below(30));
+    f.max_delay = std::chrono::microseconds(20 + knobs.below(180));
+    f.reorder_prob = 0.05 + 0.01 * static_cast<double>(knobs.below(40));
+    f.duplicate_prob = 0.02 + 0.01 * static_cast<double>(knobs.below(20));
+    f.stall_prob = 0.01 + 0.01 * static_cast<double>(knobs.below(5));
+    f.max_stall = std::chrono::microseconds(10 + knobs.below(90));
+    return f;
+  }
+};
+
+}  // namespace sfg::runtime

@@ -8,8 +8,8 @@
 namespace sfg::runtime {
 
 void launch(int num_ranks, const std::function<void(comm&)>& rank_main,
-            net_params net) {
-  world w(num_ranks, net);
+            net_params net, fault_params faults) {
+  world w(num_ranks, net, faults);
 
   std::mutex failure_mu;
   std::exception_ptr primary_failure;    // a rank's own exception

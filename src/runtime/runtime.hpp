@@ -17,9 +17,10 @@ namespace sfg::runtime {
 /// Run `rank_main` on `num_ranks` ranks (threads) and join them all.
 /// If any rank throws, the world is poisoned so blocked ranks unwind, and
 /// the first exception is rethrown on the calling thread.
-/// `net` optionally injects a simulated interconnect cost per send.
+/// `net` optionally injects a simulated interconnect cost per send;
+/// `faults` optionally injects transport misbehavior (runtime/fault.hpp).
 void launch(int num_ranks, const std::function<void(comm&)>& rank_main,
-            net_params net = {});
+            net_params net = {}, fault_params faults = {});
 
 /// As launch(), but returns one value per rank (rank order).  Handy for
 /// tests and benches that want per-rank results back on the driver thread.

@@ -29,6 +29,7 @@ void tree_termination::send_control(int dest, const control_msg& m) {
 void tree_termination::begin_wave(std::uint32_t wave) {
   current_wave_ = wave;
   child_reports_ = 0;
+  child_reported_[0] = child_reported_[1] = false;
   child_sent_sum_ = 0;
   child_recv_sum_ = 0;
   const int r = comm_->rank();
@@ -43,21 +44,31 @@ void tree_termination::on_message(const message& m) {
   const auto cm = m.as<control_msg>();
   switch (cm.kind) {
     case msg_kind::wave_req:
-      // Parent started a new wave; (re)initialize our collection state and
-      // propagate down.  Waves are strictly sequential, so any state from
-      // the previous wave is complete by construction.
-      begin_wave(cm.wave);
+      // Parent started a new wave.  The wave number is the sequence
+      // number: a replayed or delayed request for a wave we already
+      // began (or finished) must not reset the collection state — that
+      // would discard child reports and deadlock the wave.
+      if (cm.wave > current_wave_) begin_wave(cm.wave);
       break;
-    case msg_kind::wave_report:
-      // A child's aggregate for the current wave.
-      assert(cm.wave == current_wave_);
+    case msg_kind::wave_report: {
+      // A child's aggregate.  Idempotent per (child, wave): a replayed
+      // report would double-count the subtree's sent/recv totals and a
+      // stale one belongs to an already-finalized wave; both drop.
+      if (cm.wave != current_wave_) break;
+      const int child_idx = m.source - (2 * comm_->rank() + 1);
+      if (child_idx < 0 || child_idx > 1 || child_reported_[child_idx]) break;
+      child_reported_[child_idx] = true;
       ++child_reports_;
       child_sent_sum_ += cm.sent;
       child_recv_sum_ += cm.recv;
       break;
+    }
     case msg_kind::done:
-      finished_ = true;
-      flood_done();
+      // Flood down exactly once; replays must not re-flood the subtree.
+      if (!finished_) {
+        finished_ = true;
+        flood_done();
+      }
       break;
   }
 }
@@ -139,13 +150,22 @@ void safra_termination::on_message(const message& m) {
   assert(m.tag == tag_);
   const auto tm = m.as<token_msg>();
   if (tm.kind == msg_kind::done) {
-    finished_ = true;
-    // Forward the announcement once around the ring.
-    if (comm_->rank() + 1 < comm_->size()) {
-      comm_->send_value(comm_->rank() + 1, tag_, tm);
+    // Forward the announcement once around the ring; a transport replay
+    // of DONE must not be re-forwarded (it would amplify forever).
+    if (!finished_) {
+      finished_ = true;
+      if (comm_->rank() + 1 < comm_->size()) {
+        comm_->send_value(comm_->rank() + 1, tag_, tm);
+      }
     }
     return;
   }
+  // The round number is the token's sequence number: rounds only move
+  // forward, so a token for a round we already accepted (and possibly
+  // forwarded) is a duplicate — accepting it would put two copies of one
+  // token in circulation and corrupt the global deficit.
+  if (tm.round <= last_token_round_) return;
+  last_token_round_ = tm.round;
   token_ = tm;
   have_token_ = true;
 }
@@ -201,7 +221,8 @@ bool safra_termination::poll(std::uint64_t local_sent,
       if (token_.col == color::white && my_color_ == color::white &&
           total == 0) {
         finished_ = true;
-        comm_->send_value(1, tag_, token_msg{msg_kind::done, color::white, 0});
+        comm_->send_value(1, tag_,
+                          token_msg{msg_kind::done, color::white, 0, 0});
         return true;
       }
     }
@@ -210,7 +231,9 @@ bool safra_termination::poll(std::uint64_t local_sent,
     initial_token_ = false;
     my_color_ = color::white;
     have_token_ = false;
-    comm_->send_value(1, tag_, token_msg{msg_kind::token, color::white, 0});
+    ++emitted_round_;
+    comm_->send_value(
+        1, tag_, token_msg{msg_kind::token, color::white, emitted_round_, 0});
     return false;
   }
 

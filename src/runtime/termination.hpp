@@ -12,6 +12,12 @@
 ///   * The root compares wave w's totals with wave w-1's: if
 ///     S(w-1) == R(w-1) == S(w) == R(w), no visitor activity spanned the
 ///     two waves, so the system is globally quiescent; DONE floods down.
+///
+/// Control messages may be arbitrarily delayed, reordered, or duplicated
+/// by the transport (runtime/fault.hpp).  All state transitions here are
+/// idempotent per control-message sequence number: the wave number orders
+/// wave_req/wave_report (stale or replayed ones drop; a child's report is
+/// counted at most once per wave), and DONE floods down exactly once.
 ///   * Otherwise the root starts wave w+1.  Checking for non-termination
 ///     is fully asynchronous; only the final confirmation is "synchronous"
 ///     in the sense that all queues are already empty (paper §V).
@@ -74,6 +80,7 @@ class tree_termination {
   std::uint32_t current_wave_ = 0;   // wave being collected (0 = none)
   std::uint32_t reported_wave_ = 0;  // last wave this rank reported up
   int child_reports_ = 0;
+  bool child_reported_[2] = {false, false};  // dedup per child per wave
   std::uint64_t child_sent_sum_ = 0;
   std::uint64_t child_recv_sum_ = 0;
 
@@ -123,6 +130,7 @@ class safra_termination {
   struct token_msg {
     msg_kind kind;
     color col;
+    std::uint32_t round;  ///< sequence number: dedups transport replays
     std::int64_t deficit;
   };
 
@@ -133,9 +141,11 @@ class safra_termination {
   bool finished_ = false;
   bool have_token_ = false;
   bool initial_token_ = true;  ///< initiator's pre-round pseudo-token
-  token_msg token_{msg_kind::token, color::white, 0};
+  token_msg token_{msg_kind::token, color::white, 0, 0};
   color my_color_ = color::white;
   std::uint64_t last_seen_recv_ = 0;
+  std::uint32_t last_token_round_ = 0;  ///< highest round accepted here
+  std::uint32_t emitted_round_ = 0;     ///< initiator: rounds started
   std::uint32_t rounds_ = 0;
 };
 

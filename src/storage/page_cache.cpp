@@ -2,11 +2,16 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <thread>
 
 namespace sfg::storage {
 
 page_cache::page_cache(block_device& dev, config cfg)
-    : dev_(&dev), cfg_(cfg), frames_(cfg.num_frames) {
+    : dev_(&dev),
+      cfg_(cfg),
+      frames_(cfg.num_frames),
+      faults_on_(cfg.faults.enabled()),
+      fault_stream_(cfg.faults.seed, 0xCAC4Eu) {
   if (cfg.page_size == 0 || cfg.num_frames == 0) {
     throw std::invalid_argument("page_cache: page_size and num_frames must be > 0");
   }
@@ -71,8 +76,32 @@ std::size_t page_cache::find_victim_locked() {
   return frames_.size();  // everything pinned or loading
 }
 
+void page_cache::fault_evict_locked() {
+  const std::size_t start = fault_stream_.below(frames_.size());
+  for (std::size_t i = 0; i < frames_.size(); ++i) {
+    frame& f = frames_[(start + i) % frames_.size()];
+    if (f.page_id == kNoPage || f.pins > 0 || f.loading || f.dirty) continue;
+    page_to_frame_.erase(f.page_id);
+    f.page_id = kNoPage;
+    f.referenced = false;
+    ++stats_.fault_evictions;
+    return;
+  }
+}
+
+std::chrono::nanoseconds page_cache::draw_io_delay_locked() {
+  if (!faults_on_ || !fault_stream_.decide(cfg_.faults.io_delay_prob)) {
+    return std::chrono::nanoseconds{0};
+  }
+  ++stats_.fault_io_delays;
+  return fault_stream_.duration_up_to(cfg_.faults.max_io_delay);
+}
+
 page_cache::page_ref page_cache::get(std::uint64_t page_id) {
   std::unique_lock lock(mu_);
+  if (faults_on_ && fault_stream_.decide(cfg_.faults.evict_prob)) {
+    fault_evict_locked();
+  }
   for (;;) {
     if (const auto it = page_to_frame_.find(page_id);
         it != page_to_frame_.end()) {
@@ -106,8 +135,10 @@ page_cache::page_ref page_cache::get(std::uint64_t page_id) {
                         // flush_dirty) is never lost
       const std::uint64_t old_page = f.page_id;
       std::vector<std::byte> copy = f.data;
+      const auto io_delay = draw_io_delay_locked();
       lock.unlock();
       dev_->write(old_page * cfg_.page_size, copy);
+      if (io_delay.count() > 0) std::this_thread::sleep_for(io_delay);
       lock.lock();
       f.loading = false;
       ++stats_.writebacks;
@@ -131,8 +162,10 @@ page_cache::page_ref page_cache::get(std::uint64_t page_id) {
     f.data.assign(cfg_.page_size, std::byte{0});
     page_to_frame_[page_id] = v;
     ++stats_.misses;
+    const auto io_delay = draw_io_delay_locked();
     lock.unlock();
     dev_->read(page_id * cfg_.page_size, f.data);
+    if (io_delay.count() > 0) std::this_thread::sleep_for(io_delay);
     lock.lock();
     f.loading = false;
     cv_.notify_all();
@@ -166,8 +199,10 @@ void page_cache::flush_dirty() {
                       // page during our unlocked write keeps its bit
     const std::uint64_t page = f.page_id;
     std::vector<std::byte> copy = f.data;
+    const auto io_delay = draw_io_delay_locked();
     lock.unlock();
     dev_->write(page * cfg_.page_size, copy);
+    if (io_delay.count() > 0) std::this_thread::sleep_for(io_delay);
     lock.lock();
     f.loading = false;
     ++stats_.writebacks;

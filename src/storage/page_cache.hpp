@@ -11,6 +11,7 @@
 /// Dirty pages are written back on eviction and on flush_dirty().
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <limits>
@@ -20,14 +21,32 @@
 #include <vector>
 
 #include "storage/block_device.hpp"
+#include "util/chaos.hpp"
 
 namespace sfg::storage {
 
 class page_cache {
  public:
+  /// Injectable slow-path hooks (the storage arm of the fault-injection
+  /// layer, see runtime/fault.hpp): randomized eviction pressure forces
+  /// the miss path even for a warm working set, and delayed I/O completion
+  /// stretches the windows in which concurrent hits and misses interleave.
+  /// Decisions are deterministic per (seed, call index).  Inert by default.
+  struct fault_hooks {
+    std::uint64_t seed = 0;
+    double evict_prob = 0.0;     ///< per get(): drop one unpinned clean frame
+    double io_delay_prob = 0.0;  ///< per device read/write: sleep afterwards
+    std::chrono::nanoseconds max_io_delay{0};
+
+    [[nodiscard]] bool enabled() const noexcept {
+      return evict_prob > 0.0 || io_delay_prob > 0.0;
+    }
+  };
+
   struct config {
     std::size_t page_size = 4096;
     std::size_t num_frames = 1024;  ///< DRAM budget = page_size * num_frames
+    fault_hooks faults{};
   };
 
   page_cache(block_device& dev, config cfg);
@@ -81,6 +100,8 @@ class page_cache {
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
     std::uint64_t writebacks = 0;
+    std::uint64_t fault_evictions = 0;  ///< frames dropped by injected pressure
+    std::uint64_t fault_io_delays = 0;  ///< device I/Os artificially delayed
   };
   [[nodiscard]] cache_stats stats() const;
   void reset_stats();
@@ -105,6 +126,15 @@ class page_cache {
   /// Returns num_frames() if nothing is currently evictable.
   std::size_t find_victim_locked();
 
+  /// Injected eviction pressure: drop one unpinned, clean, resident frame
+  /// chosen by the fault stream.  Caller holds the lock.
+  void fault_evict_locked();
+
+  /// Draw one I/O-delay decision (caller holds the lock); the returned
+  /// duration (possibly zero) is slept *after* the device call, outside
+  /// the lock.
+  std::chrono::nanoseconds draw_io_delay_locked();
+
   block_device* dev_;
   config cfg_;
 
@@ -114,6 +144,8 @@ class page_cache {
   std::unordered_map<std::uint64_t, std::size_t> page_to_frame_;
   std::size_t clock_hand_ = 0;
   cache_stats stats_;
+  bool faults_on_ = false;
+  util::chaos_stream fault_stream_;  // guarded by mu_
 };
 
 }  // namespace sfg::storage

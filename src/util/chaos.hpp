@@ -1,0 +1,57 @@
+/// \file chaos.hpp
+/// Deterministic decision stream for fault injection.  A chaos_stream is a
+/// counter-mode PRNG: decision n of stream (seed, stream_id) is a pure
+/// function of (seed, stream_id, n), so a fault schedule is reproducible
+/// from its seed alone — no shared state, no locking, and streams for
+/// different ranks / subsystems never correlate.
+///
+/// Used by the runtime fault layer (runtime/fault.hpp) and the page-cache
+/// slow-path hooks (storage/page_cache.hpp); lives in util so storage does
+/// not grow a dependency on runtime.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace sfg::util {
+
+class chaos_stream {
+ public:
+  chaos_stream() = default;
+  chaos_stream(std::uint64_t seed, std::uint64_t stream_id) noexcept
+      : base_(splitmix64(seed ^ splitmix64(stream_id + 0x9e3779b97f4a7c15ULL))) {}
+
+  /// One Bernoulli trial with probability `prob`; always consumes exactly
+  /// one counter step so downstream decisions stay aligned across runs.
+  bool decide(double prob) noexcept {
+    const std::uint64_t x = next();
+    if (prob <= 0.0) return false;
+    if (prob >= 1.0) return true;
+    return static_cast<double>(x >> 11) * 0x1.0p-53 < prob;
+  }
+
+  /// Uniform integer in [0, bound); bound == 0 yields 0.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    const std::uint64_t x = next();
+    if (bound == 0) return 0;
+    return static_cast<std::uint64_t>(
+        (static_cast<__uint128_t>(x) * bound) >> 64);
+  }
+
+  /// Uniform duration in [0, max].
+  std::chrono::nanoseconds duration_up_to(std::chrono::nanoseconds max) noexcept {
+    if (max.count() <= 0) return std::chrono::nanoseconds{0};
+    return std::chrono::nanoseconds(static_cast<std::int64_t>(
+        below(static_cast<std::uint64_t>(max.count()) + 1)));
+  }
+
+ private:
+  std::uint64_t next() noexcept { return splitmix64(base_ ^ counter_++); }
+
+  std::uint64_t base_ = 0;
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace sfg::util

@@ -141,5 +141,51 @@ TEST(ExternalMemory, FileBackedGraphWorks) {
   });
 }
 
+TEST(ExternalMemory, BfsUnderCachePressureAndDelayedIo) {
+  // Storage arm of the fault-injection layer: a cache under 10% of the
+  // CSR's pages, plus injected eviction pressure and randomized delayed
+  // I/O completions, must only slow EM-BFS down — never change levels.
+  gen::rmat_config rc{.scale = 9, .edge_factor = 16, .seed = 85};
+  const auto edges = gen::rmat_slice(rc, 0, rc.num_edges());
+  const auto ref = reference::serial_graph::from_edges(edges);
+  const auto expected = reference::serial_bfs(ref, edges.front().src);
+
+  launch(4, [&](comm& c) {
+    const auto range = gen::slice_for_rank(edges.size(), c.rank(), 4);
+    std::vector<edge64> mine(
+        edges.begin() + static_cast<std::ptrdiff_t>(range.begin),
+        edges.begin() + static_cast<std::ptrdiff_t>(range.end));
+    storage::memory_device dev;
+    storage::page_cache::config ccfg;
+    ccfg.page_size = kPage;
+    // After symmetrize+dedup this graph is ~38 CSR pages per rank, so a
+    // 3-frame cache is under the 10%-of-CSR budget: nearly every row
+    // access goes through the miss path.
+    ccfg.num_frames = 3;
+    ccfg.faults.seed = 4242;
+    ccfg.faults.evict_prob = 0.05;
+    ccfg.faults.io_delay_prob = 0.02;
+    ccfg.faults.max_io_delay = std::chrono::microseconds(50);
+    storage::page_cache cache(dev, ccfg);
+    auto g = graph::build_external_graph(c, mine, {}, dev, cache);
+
+    // The cache must actually be <10% of this rank's CSR pages.
+    const std::size_t csr_pages =
+        (g.total_edges() / 4 * sizeof(std::uint64_t) + kPage - 1) / kPage;
+    EXPECT_LT(ccfg.num_frames * 10, csr_pages);
+
+    auto result = run_bfs(g, g.locate(edges.front().src), {});
+    const auto levels = gather_global(c, g, [&](std::size_t s) {
+      return result.state.local(s).level;
+    });
+    for (const auto& [gid, level] : levels) {
+      ASSERT_EQ(level, expected[gid]) << "vertex " << gid;
+    }
+    // Both fault hooks actually fired.
+    EXPECT_GT(cache.stats().fault_evictions, 0u);
+    EXPECT_GT(cache.stats().fault_io_delays, 0u);
+  });
+}
+
 }  // namespace
 }  // namespace sfg::core

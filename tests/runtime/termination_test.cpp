@@ -257,6 +257,99 @@ TEST_P(TerminationP, TreeRunsMultipleWaves) {
   });
 }
 
+/// Like drive(), but hostile: every control message is held back for one
+/// poll round and then delivered to the detector TWICE — the at-least-once,
+/// delayed delivery a faulty transport produces.  A detector whose control
+/// protocol is not idempotent per sequence number either deadlocks (wave
+/// state reset mid-collection) or terminates early (double-counted child
+/// reports / twin Safra tokens).
+template <typename Detector, typename WorkFn>
+std::pair<std::uint64_t, std::uint64_t> drive_hostile(comm& c, Detector& det,
+                                                      std::uint64_t initial_sent,
+                                                      WorkFn&& work) {
+  std::uint64_t sent = initial_sent;
+  std::uint64_t recv = 0;
+  std::vector<message> held;
+  message m;
+  while (true) {
+    bool any = false;
+    for (auto& h : held) {
+      det.on_message(h);
+      det.on_message(h);  // replay
+    }
+    const bool had_held = !held.empty();
+    held.clear();
+    while (c.try_recv(m)) {
+      any = true;
+      if (m.tag == kCtrlTag) {
+        held.push_back(m);  // delay to the next round
+      } else {
+        ++recv;
+        sent += work(m);
+      }
+    }
+    const bool idle = !any && !had_held && held.empty() && c.inbox_empty();
+    if (det.poll(sent, recv, idle)) break;
+  }
+  return {sent, recv};
+}
+
+TEST_P(TerminationP, TreeToleratesDuplicatedDelayedControl) {
+  const int p = GetParam();
+  launch(p, [p](comm& c) {
+    tree_termination det(c, kCtrlTag);
+    std::uint64_t initial = 0;
+    if (c.rank() == 0) {
+      c.send_value(p - 1, kDataTag, 20);
+      initial = 1;
+    }
+    const auto [sent, recv] =
+        drive_hostile(c, det, initial, [&](const message& m) {
+          const int ttl = m.as<int>();
+          if (ttl > 0) {
+            c.send_value((c.rank() + 3) % p, kDataTag, ttl - 1);
+            return 1;
+          }
+          return 0;
+        });
+    // Same global invariant as the clean-transport cascade: the replayed
+    // wave_req / wave_report / done messages must all be absorbed.
+    const auto total_sent = c.all_reduce(sent, std::plus<>());
+    const auto total_recv = c.all_reduce(recv, std::plus<>());
+    EXPECT_EQ(total_sent, 21u);
+    EXPECT_EQ(total_recv, 21u);
+    EXPECT_TRUE(det.finished());
+  });
+}
+
+TEST_P(TerminationP, SafraToleratesDuplicatedDelayedControl) {
+  const int p = GetParam();
+  launch(p, [p](comm& c) {
+    safra_termination det(c, kCtrlTag);
+    std::uint64_t initial = 0;
+    if (c.rank() == 0) {
+      c.send_value(p - 1, kDataTag, 20);
+      initial = 1;
+    }
+    const auto [sent, recv] =
+        drive_hostile(c, det, initial, [&](const message& m) {
+          const int ttl = m.as<int>();
+          if (ttl > 0) {
+            c.send_value((c.rank() + 3) % p, kDataTag, ttl - 1);
+            return 1;
+          }
+          return 0;
+        });
+    // A replayed token would put two tokens in circulation and corrupt
+    // the global deficit; the round-number dedup must drop it.
+    const auto total_sent = c.all_reduce(sent, std::plus<>());
+    const auto total_recv = c.all_reduce(recv, std::plus<>());
+    EXPECT_EQ(total_sent, 21u);
+    EXPECT_EQ(total_recv, 21u);
+    EXPECT_TRUE(det.finished());
+  });
+}
+
 INSTANTIATE_TEST_SUITE_P(WorldSizes, TerminationP,
                          ::testing::Values(1, 2, 3, 4, 8, 13, 16));
 
