@@ -8,7 +8,7 @@
 #include "storage/page_cache.hpp"
 
 int main() {
-  sfg::bench::banner(
+  sfg::bench::reporter rep(
       "ablation_locality_ordering", "paper §V-A (design choice)",
       "External-memory BFS, identical except equal-priority visitor "
       "ordering: vertex order (paper) vs scrambled");
@@ -66,6 +66,7 @@ int main() {
         .add(reads);
   }
   t.print(std::cout);
+  rep.add_table("main", t);
   std::cout << "\nShape check vs paper §V-A: vertex-ordered ties touch "
                "fewer distinct CSR pages per batch, so the cache hit rate "
                "is higher and NAND reads fewer than with scrambled "

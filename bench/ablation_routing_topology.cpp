@@ -6,7 +6,7 @@
 #include "bench_common.hpp"
 
 int main() {
-  sfg::bench::banner(
+  sfg::bench::reporter rep(
       "ablation_routing_topology", "paper §III-B (design choice)",
       "BFS on RMAT 2^13 vertices, p = 16, identical except mailbox "
       "topology; simulated interconnect charges per packet and per byte");
@@ -51,9 +51,9 @@ int main() {
               used, [](std::uint64_t a, std::uint64_t b) {
                 return a > b ? a : b;
               });
-          const auto pkts = c.all_reduce(bfs.stats.mailbox_packets,
+          const auto pkts = c.all_reduce(bfs.stats.mailbox.packets_sent,
                                          std::plus<>());
-          const auto fw = c.all_reduce(bfs.stats.mailbox_forwarded,
+          const auto fw = c.all_reduce(bfs.stats.mailbox.records_forwarded,
                                        std::plus<>());
           if (c.rank() == 0) {
             m = mm;
@@ -78,6 +78,7 @@ int main() {
              2);
   }
   t.print(std::cout);
+  rep.add_table("main", t);
   std::cout << "\nShape check vs paper: routed topologies use far fewer "
                "channels per rank (O(sqrt p) / O(cbrt p) vs O(p)); the "
                "extra record hops are the price of the reduction — the "

@@ -9,7 +9,7 @@
 #include "bench_common.hpp"
 
 int main() {
-  sfg::bench::banner(
+  sfg::bench::reporter rep(
       "analysis_parallel_rounds", "paper §VI-D",
       "Measured hub visitor load vs the Θ(D + |E|/p + d_in_max) model; "
       "ghosts collapse d_in_max to O(p)");
@@ -70,6 +70,7 @@ int main() {
     }
   }
   t.print(std::cout);
+  rep.add_table("main", t);
   std::cout << "\nShape check vs paper §VI-D: without ghosts the hub "
                "master's delivered count tracks d_in_max (the spoke "
                "count); with ghosts it collapses toward O(p), independent "

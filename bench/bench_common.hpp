@@ -10,13 +10,17 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "core/bfs.hpp"
 #include "gen/generators.hpp"
 #include "graph/distributed_graph.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_report.hpp"
 #include "runtime/runtime.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -143,5 +147,84 @@ inline void banner(const char* id, const char* paper_ref,
   std::cout << "=== " << id << " — " << paper_ref << " ===\n"
             << description << "\n\n";
 }
+
+/// Serialize one util::table, parsing numeric-looking cells back into
+/// JSON numbers so plots can consume BENCH_*.json without re-parsing.
+inline obs::json table_to_json(const util::table& t) {
+  auto cell_json = [](const std::string& cell) {
+    if (auto parsed = obs::json::parse(cell);
+        parsed && parsed->is_number()) {
+      return *parsed;
+    }
+    return obs::json(cell);
+  };
+  obs::json out = obs::json::object();
+  obs::json headers = obs::json::array();
+  for (const auto& h : t.headers()) headers.push_back(obs::json(h));
+  out["headers"] = std::move(headers);
+  obs::json rows = obs::json::array();
+  for (const auto& r : t.rows()) {
+    obs::json row = obs::json::array();
+    for (const auto& cell : r) row.push_back(cell_json(cell));
+    rows.push_back(std::move(row));
+  }
+  out["rows"] = std::move(rows);
+  return out;
+}
+
+/// Drop-in replacement for banner() that additionally emits a
+/// machine-readable BENCH_<id>.json run report when the bench exits:
+/// bench id + paper reference, wall time, every table the bench printed
+/// (numeric cells as numbers — graph params, times, TEPS), and the full
+/// metrics-registry snapshot.  The report lands in $SFG_BENCH_DIR (or the
+/// working directory), where CI picks it up as an artifact.
+class reporter {
+ public:
+  reporter(const char* id, const char* paper_ref, const char* description)
+      : id_(id), report_(id) {
+    // Benches always measure with the registry live: the snapshot in the
+    // report is the point of running them.
+    obs::set_metrics_enabled(true);
+    banner(id, paper_ref, description);
+    report_.add_param("paper_ref", obs::json(paper_ref));
+    report_.add_param("description", obs::json(description));
+  }
+
+  reporter(const reporter&) = delete;
+  reporter& operator=(const reporter&) = delete;
+  ~reporter() { write(); }
+
+  void add_param(const std::string& key, obs::json v) {
+    report_.add_param(key, std::move(v));
+  }
+
+  /// Record one printed table under `name` (e.g. "main").
+  void add_table(const std::string& name, const util::table& t) {
+    tables_[name] = table_to_json(t);
+  }
+
+  /// Write BENCH_<id>.json now (idempotent; also runs at destruction).
+  bool write() {
+    if (written_) return true;
+    written_ = true;
+    report_.add_section("schema_bench", obs::json("sfg-bench-report/1"));
+    report_.add_section("wall_time_s", obs::json(timer_.elapsed_s()));
+    report_.add_section("tables", tables_);
+    const char* dir = std::getenv("SFG_BENCH_DIR");
+    const std::string path =
+        (dir != nullptr ? std::string(dir) + "/" : std::string()) + "BENCH_" +
+        id_ + ".json";
+    const bool ok = report_.write(path);
+    if (ok) std::cout << "\n[report] " << path << "\n";
+    return ok;
+  }
+
+ private:
+  std::string id_;
+  obs::run_report report_;
+  obs::json tables_ = obs::json::object();
+  util::timer timer_;
+  bool written_ = false;
+};
 
 }  // namespace sfg::bench

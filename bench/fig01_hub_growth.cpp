@@ -9,7 +9,7 @@
 #include "bench_common.hpp"
 
 int main() {
-  sfg::bench::banner("fig01_hub_growth", "paper Figure 1",
+  sfg::bench::reporter rep("fig01_hub_growth", "paper Figure 1",
                      "Edge mass in hubs vs RMAT scale (avg degree 16)");
 
   sfg::util::table t({"scale", "vertices", "edges", "max_degree",
@@ -44,6 +44,7 @@ int main() {
              3);
   }
   t.print(std::cout);
+  rep.add_table("main", t);
   std::cout << "\nShape check vs paper: max_degree and hub edge mass grow "
                "superlinearly with scale while average degree stays 16.\n";
   return 0;

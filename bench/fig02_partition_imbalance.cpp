@@ -10,7 +10,7 @@
 #include "bench_common.hpp"
 
 int main() {
-  sfg::bench::banner(
+  sfg::bench::reporter rep(
       "fig02_partition_imbalance", "paper Figure 2",
       "Weak-scaled edges-per-partition imbalance (max/mean); 2^13 vertices "
       "per partition, RMAT degree 16");
@@ -36,6 +36,7 @@ int main() {
         .add(ie, 3);
   }
   t.print(std::cout);
+  rep.add_table("main", t);
   std::cout << "\nShape check vs paper: 1D imbalance grows with p; 2D stays "
                "far lower; edge-list partitioning is exactly 1.0.\n";
   return 0;

@@ -7,7 +7,7 @@
 #include "graph/builder.hpp"
 
 int main() {
-  sfg::bench::banner("fig03_edge_list_example", "paper Figure 3",
+  sfg::bench::reporter rep("fig03_edge_list_example", "paper Figure 3",
                      "The paper's 8-vertex / 16-edge example through the "
                      "real partitioning pipeline, p = 4");
 
@@ -73,6 +73,7 @@ int main() {
         .add(chain);
   }
   t.print(std::cout);
+  rep.add_table("main", t);
   std::cout << "\nPaper values: min_owner(2)=0, max_owner(2)=2, "
                "min_owner(5)=2, max_owner(5)=3 — matched above.\n";
   return 0;

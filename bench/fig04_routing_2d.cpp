@@ -11,7 +11,7 @@ using sfg::mailbox::router;
 using sfg::mailbox::topology;
 
 int main() {
-  sfg::bench::banner("fig04_routing_2d", "paper Figure 4",
+  sfg::bench::reporter rep("fig04_routing_2d", "paper Figure 4",
                      "2D routing on 16 ranks; the 11 -> 5 via 9 example, "
                      "channel counts and aggregation factors");
 
@@ -57,6 +57,7 @@ int main() {
     }
   }
   t.print(std::cout);
+  rep.add_table("main", t);
   std::cout << "\nShape check vs paper: 2D reduces channels to O(sqrt p) and "
                "increases per-channel aggregation by O(sqrt p), at the cost "
                "of an extra hop; 3D goes further (used on BG/P).\n";

@@ -10,7 +10,7 @@
 #include "bench_common.hpp"
 
 int main() {
-  sfg::bench::banner(
+  sfg::bench::reporter rep(
       "fig05_bfs_weak_scaling", "paper Figure 5",
       "Weak scaling of async BFS; RMAT, 2^11 vertices (2^15 dir. edges) per "
       "rank, ghosts=256, 3D-routed mailbox");
@@ -51,6 +51,7 @@ int main() {
         .add(balance, 3);
   }
   t.print(std::cout);
+  rep.add_table("main", t);
   std::cout << "\nShape check vs paper: per-rank work (edges/rank, "
                "max_rank_delivered) stays near-flat under weak scaling and "
                "the bottleneck/mean balance stays near 1 — the property "

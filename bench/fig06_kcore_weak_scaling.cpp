@@ -9,7 +9,7 @@
 #include "core/kcore.hpp"
 
 int main() {
-  sfg::bench::banner(
+  sfg::bench::reporter rep(
       "fig06_kcore_weak_scaling", "paper Figure 6",
       "Weak scaling of k-core on RMAT; 2^10 vertices per rank; k = 4,16,64");
 
@@ -54,6 +54,7 @@ int main() {
     }
   }
   t.print(std::cout);
+  rep.add_table("main", t);
   std::cout << "\nShape check vs paper: per-rank delivered visitors stay "
                "near-flat under weak scaling for each k (near-linear weak "
                "scaling); larger k peels more of the scale-free graph and "

@@ -10,7 +10,7 @@
 #include "storage/page_cache.hpp"
 
 int main() {
-  sfg::bench::banner(
+  sfg::bench::reporter rep(
       "fig08_em_bfs_weak_scaling", "paper Figure 8",
       "Weak scaling of external-memory BFS; RMAT 2^10 vertices/rank; edge "
       "array on simulated NAND flash behind a 32-frame page cache");
@@ -58,6 +58,7 @@ int main() {
         .add(reads);
   }
   t.print(std::cout);
+  rep.add_table("main", t);
   std::cout << "\nShape check vs paper: per-rank traversed edges stay flat "
                "while the NAND device absorbs the CSR reads — external "
                "memory weak scaling mirrors the in-memory curve of fig05 "

@@ -14,7 +14,7 @@
 #include "storage/page_cache.hpp"
 
 int main() {
-  sfg::bench::banner(
+  sfg::bench::reporter rep(
       "fig09_nvram_data_scaling", "paper Figure 9",
       "Fixed compute (p=4) and fixed graph; DRAM cache budget shrinks "
       "1x..32x below the edge data (paper: 39% slower at 32x)");
@@ -72,6 +72,7 @@ int main() {
         .add(drop, 1);
   }
   t.print(std::cout);
+  rep.add_table("main", t);
   std::cout << "\nShape check vs paper: TEPS degrades moderately — far "
                "less than proportionally — as the data:DRAM ratio grows "
                "to 32x, because the asynchronous visitor queue overlaps "

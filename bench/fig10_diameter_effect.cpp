@@ -9,7 +9,7 @@
 #include "reference/serial_graph.hpp"
 
 int main() {
-  sfg::bench::banner(
+  sfg::bench::reporter rep(
       "fig10_diameter_effect", "paper Figure 10",
       "BFS TEPS vs BFS level depth; Small World 2^13 vertices, degree 16, "
       "p = 4, rewire 100% .. 0.1%");
@@ -54,6 +54,7 @@ int main() {
         .add(m.reached);
   }
   t.print(std::cout);
+  rep.add_table("main", t);
   std::cout << "\nShape check vs paper: shrinking rewire probability grows "
                "the BFS depth by orders of magnitude and TEPS falls "
                "correspondingly — diameter bounds asynchronous BFS's "

@@ -10,7 +10,7 @@
 #include "core/triangles.hpp"
 
 int main() {
-  sfg::bench::banner(
+  sfg::bench::reporter rep(
       "fig11_degree_effect_triangles", "paper Figure 11",
       "Triangle counting time vs max vertex degree; PA 2^11 vertices, "
       "degree 16 (8 out), p = 4, rewire 0% .. 100%");
@@ -57,6 +57,7 @@ int main() {
         .add(delivered);
   }
   t.print(std::cout);
+  rep.add_table("main", t);
   std::cout << "\nShape check vs paper: rewiring shrinks the max hub, and "
                "time (and total wedge visitors) falls with it — triangle "
                "counting cost is driven by d_max, not |E|.\n";

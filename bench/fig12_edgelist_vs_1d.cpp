@@ -11,7 +11,7 @@
 #include "graph/partition_1d.hpp"
 
 int main() {
-  sfg::bench::banner(
+  sfg::bench::reporter rep(
       "fig12_edgelist_vs_1d", "paper Figure 12",
       "BFS on edge-list vs 1D partitioning; RMAT 2^10 vertices per rank");
 
@@ -63,6 +63,7 @@ int main() {
     }
   }
   t.print(std::cout);
+  rep.add_table("main", t);
   std::cout << "\nShape check vs paper: 1D's max-rank edge count (memory) "
                "and bottleneck visitor load grow with p while edge-list "
                "partitioning stays exactly balanced — the imbalance that "

@@ -12,7 +12,7 @@
 #include "bench_common.hpp"
 
 int main() {
-  sfg::bench::banner(
+  sfg::bench::reporter rep(
       "fig13_ghost_sweep", "paper Figure 13",
       "BFS improvement vs ghosts-per-partition k; RMAT 2^14 vertices, "
       "p = 8, simulated interconnect (paper: +12% at k=1, +19.5% at "
@@ -67,6 +67,7 @@ int main() {
         .add(traffic_cut, 1);
   }
   t.print(std::cout);
+  rep.add_table("main", t);
   std::cout << "\nShape check vs paper: even one ghost filters a large "
                "share of hub-bound visitors; improvement grows with k and "
                "saturates quickly because only a few hubs matter in a "

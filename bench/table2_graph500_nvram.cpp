@@ -31,7 +31,7 @@ struct config_row {
 }  // namespace
 
 int main() {
-  sfg::bench::banner(
+  sfg::bench::reporter rep(
       "table2_graph500_nvram", "paper Table II",
       "Graph500-style TEPS by storage class (paper: 1004 / 609 / 242 / 52 "
       "MTEPS)");
@@ -86,6 +86,7 @@ int main() {
         .add(m.teps() / 1e6, 3);
   }
   t.print(std::cout);
+  rep.add_table("main", t);
   std::cout << "\nShape check vs paper Table II: DRAM > fast NVRAM > slow "
                "NVRAM, and the single-node configuration trails the "
                "distributed NVRAM one because a lone rank cannot overlap "

@@ -32,6 +32,10 @@
 #include <vector>
 
 #include "mailbox/routed_mailbox.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_report.hpp"
+#include "obs/stats_fields.hpp"
+#include "obs/trace.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/termination.hpp"
 #include "util/rng.hpp"
@@ -76,12 +80,32 @@ struct traversal_stats {
   std::uint64_t ghost_filtered = 0;      ///< pushes suppressed by a ghost
   std::uint64_t pre_visit_rejected = 0;  ///< deliveries gated out
   std::uint32_t termination_waves = 0;
-  // Mailbox-level view (copied at the end of do_traversal):
-  std::uint64_t mailbox_packets = 0;    ///< aggregated packets emitted
-  std::uint64_t mailbox_forwarded = 0;  ///< records relayed (routing hops)
-  std::uint64_t mailbox_packet_bytes = 0;
-  std::uint64_t mailbox_dropped_duplicates = 0;  ///< replayed packets dropped
+  /// Mailbox-level view of this traversal: the mailbox's own stats struct
+  /// embedded whole (delta over the traversal, so reused queues report
+  /// per-traversal numbers), instead of hand-copied fields.
+  mailbox::routed_mailbox::mailbox_stats mailbox{};
 };
+
+}  // namespace sfg::core
+
+/// Reflection for the shared stats conventions (delta / add / reset /
+/// to_json / to_registry) — see obs/stats_fields.hpp.  The embedded
+/// mailbox snapshot recurses through its own traits.
+template <>
+struct sfg::obs::stats_traits<sfg::core::traversal_stats> {
+  using S = sfg::core::traversal_stats;
+  static constexpr auto fields = std::make_tuple(
+      stats_field{"visitors_pushed", &S::visitors_pushed},
+      stats_field{"visitors_sent", &S::visitors_sent},
+      stats_field{"visitors_delivered", &S::visitors_delivered},
+      stats_field{"visitors_executed", &S::visitors_executed},
+      stats_field{"ghost_filtered", &S::ghost_filtered},
+      stats_field{"pre_visit_rejected", &S::pre_visit_rejected},
+      stats_field{"termination_waves", &S::termination_waves},
+      stats_field{"mailbox", &S::mailbox});
+};
+
+namespace sfg::core {
 
 template <typename Graph, typename Visitor, typename State>
 class visitor_queue {
@@ -115,6 +139,8 @@ class visitor_queue {
   /// Paper Algorithm 1, DO_TRAVERSAL: run to global quiescence.
   /// Collective: all ranks must call (after pushing initial visitors).
   void do_traversal() {
+    obs::trace_span tspan("traversal", "core");
+    const mailbox::routed_mailbox::mailbox_stats mail_start = mailbox_.stats();
     runtime::tree_termination term(graph_->comm(), cfg_.control_tag);
     const bool chaos_on = cfg_.faults.enabled() && cfg_.faults.stall_prob > 0;
     util::chaos_stream chaos(cfg_.faults.seed,
@@ -167,11 +193,14 @@ class visitor_queue {
         break;
       }
     }
-    stats_.termination_waves = term.waves_completed();
-    stats_.mailbox_packets = mailbox_.stats().packets_sent;
-    stats_.mailbox_forwarded = mailbox_.stats().records_forwarded;
-    stats_.mailbox_packet_bytes = mailbox_.stats().packet_bytes_sent;
-    stats_.mailbox_dropped_duplicates = mailbox_.stats().packets_dropped_duplicate;
+    // Accumulate (never overwrite): every stats_ field stays monotonic
+    // across traversals, which publish_metrics' delta logic relies on.
+    stats_.termination_waves += term.waves_completed();
+    obs::stats_add(stats_.mailbox,
+                   obs::stats_delta(mailbox_.stats(), mail_start));
+    tspan.set_arg("executed", static_cast<double>(stats_.visitors_executed));
+    publish_metrics();
+    maybe_write_run_report(c);
     // Epoch boundary: without this, a fast rank could start a *new*
     // traversal and its records would land in a slow rank's still-running
     // old loop — consumed against the old queue's counters and lost to
@@ -189,7 +218,48 @@ class visitor_queue {
     return mailbox_;
   }
 
+  /// Reset the per-traversal counters (mailbox cumulative counters are
+  /// left alone: termination detection relies on them being monotonic).
+  void reset_stats() {
+    obs::stats_reset(stats_);
+    obs::stats_reset(published_);
+  }
+
  private:
+  /// Fold this traversal's activity into the process-wide registry.  Only
+  /// the delta since the last publish is added, so counters stay exact
+  /// when one queue runs several traversals.
+  void publish_metrics() {
+    if (!obs::metrics_on()) return;
+    obs::stats_to_registry("traversal", obs::stats_delta(stats_, published_));
+    published_ = stats_;
+  }
+
+  /// If a metrics report path is configured (SFG_METRICS or
+  /// set_metrics_report_path), gather every rank's traversal_stats and
+  /// have rank 0 append one entry to the report.  Collective: rank 0
+  /// decides, so all ranks agree even if the path is toggled concurrently.
+  void maybe_write_run_report(runtime::comm& c) {
+    const int want = c.broadcast(
+        static_cast<int>(c.rank() == 0 &&
+                         !obs::metrics_report_path().empty()),
+        0);
+    if (want == 0) return;
+    const std::vector<traversal_stats> all = c.all_gather(stats_);
+    if (c.rank() != 0) return;
+    obs::json entry = obs::json::object();
+    entry["ranks"] = static_cast<std::uint64_t>(all.size());
+    traversal_stats total{};
+    obs::json per_rank = obs::json::array();
+    for (const auto& s : all) {
+      obs::stats_add(total, s);
+      per_rank.push_back(obs::stats_to_json(s));
+    }
+    entry["total"] = obs::stats_to_json(total);
+    entry["per_rank"] = std::move(per_rank);
+    obs::append_traversal_report(std::move(entry));
+  }
+
   /// Paper Algorithm 1, CHECK_MAILBOX body for one arriving visitor:
   /// pre_visit the real state; on success queue locally and forward to
   /// the next replica in the vertex's owner chain.
@@ -235,6 +305,8 @@ class visitor_queue {
   std::priority_queue<Visitor, std::vector<Visitor>, heap_cmp> local_queue_{
       heap_cmp{cfg_.tiebreak}};
   traversal_stats stats_;
+  /// What publish_metrics() last folded into the registry.
+  traversal_stats published_;
 };
 
 }  // namespace sfg::core

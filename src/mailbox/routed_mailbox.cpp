@@ -3,6 +3,9 @@
 #include <cassert>
 #include <cstring>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace sfg::mailbox {
 
 routed_mailbox::routed_mailbox(runtime::comm& c, config cfg)
@@ -44,11 +47,18 @@ void routed_mailbox::route_record(std::uint32_t origin, int final_dest,
 void routed_mailbox::flush_channel(int next_hop) {
   auto& buf = channels_[static_cast<std::size_t>(next_hop)];
   if (buf.empty()) return;
+  obs::trace_span span("mailbox.flush", "mailbox");
+  span.set_arg("bytes", static_cast<double>(buf.size()));
   const packet_header ph{next_packet_seq_[static_cast<std::size_t>(next_hop)]++};
   std::memcpy(buf.data(), &ph, sizeof(ph));
   comm_->send(next_hop, cfg_.tag, buf);
   ++stats_.packets_sent;
   stats_.packet_bytes_sent += buf.size();
+  if (obs::metrics_on()) {
+    auto& reg = obs::metrics_registry::instance();
+    reg.get_counter("mailbox.packets_sent").add_raw(1);
+    reg.get_counter("mailbox.packet_bytes_sent").add_raw(buf.size());
+  }
   buf.clear();
 }
 
@@ -92,6 +102,13 @@ std::size_t routed_mailbox::process_packet(const runtime::message& m,
     // Transport replay (fault layer): this packet was already consumed;
     // replaying it would double-deliver every record inside.
     ++stats_.packets_dropped_duplicate;
+    obs::trace_instant("mailbox.dup_drop", "mailbox", "seq",
+                       static_cast<double>(ph.seq));
+    if (obs::metrics_on()) {
+      obs::metrics_registry::instance()
+          .get_counter("mailbox.packets_dropped_duplicate")
+          .add_raw(1);
+    }
     return 0;
   }
   std::size_t delivered = 0;

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "mailbox/topology.hpp"
+#include "obs/stats_fields.hpp"
 #include "runtime/comm.hpp"
 
 namespace sfg::mailbox {
@@ -124,3 +125,17 @@ class routed_mailbox {
 };
 
 }  // namespace sfg::mailbox
+
+/// Reflection for the shared stats conventions (delta / add / reset /
+/// to_json / to_registry) — see obs/stats_fields.hpp.
+template <>
+struct sfg::obs::stats_traits<sfg::mailbox::routed_mailbox::mailbox_stats> {
+  using S = sfg::mailbox::routed_mailbox::mailbox_stats;
+  static constexpr auto fields = std::make_tuple(
+      stats_field{"records_sent", &S::records_sent},
+      stats_field{"records_delivered", &S::records_delivered},
+      stats_field{"records_forwarded", &S::records_forwarded},
+      stats_field{"packets_sent", &S::packets_sent},
+      stats_field{"packet_bytes_sent", &S::packet_bytes_sent},
+      stats_field{"packets_dropped_duplicate", &S::packets_dropped_duplicate});
+};

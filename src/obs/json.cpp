@@ -1,0 +1,373 @@
+#include "obs/json.hpp"
+
+#include <cassert>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace sfg::obs {
+
+// ---------------------------------------------------------------------------
+// accessors
+// ---------------------------------------------------------------------------
+
+json& json::operator[](std::string_view key) {
+  if (is_null()) v_ = object_t{};
+  auto& obj = std::get<object_t>(v_);
+  for (auto& [k, v] : obj) {
+    if (k == key) return v;
+  }
+  obj.emplace_back(std::string(key), json());
+  return obj.back().second;
+}
+
+const json* json::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : std::get<object_t>(v_)) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void json::push_back(json v) {
+  if (is_null()) v_ = array_t{};
+  std::get<array_t>(v_).push_back(std::move(v));
+}
+
+std::size_t json::size() const {
+  if (is_array()) return std::get<array_t>(v_).size();
+  if (is_object()) return std::get<object_t>(v_).size();
+  return 0;
+}
+
+const json& json::at(std::size_t i) const { return std::get<array_t>(v_).at(i); }
+
+const json::object_t& json::items() const { return std::get<object_t>(v_); }
+
+double json::as_double() const {
+  if (const auto* d = std::get_if<double>(&v_)) return *d;
+  if (const auto* u = std::get_if<std::uint64_t>(&v_)) return static_cast<double>(*u);
+  return static_cast<double>(std::get<std::int64_t>(v_));
+}
+
+std::uint64_t json::as_u64() const {
+  if (const auto* u = std::get_if<std::uint64_t>(&v_)) return *u;
+  const auto i = std::get<std::int64_t>(v_);
+  assert(i >= 0);
+  return static_cast<std::uint64_t>(i);
+}
+
+std::int64_t json::as_i64() const {
+  if (const auto* i = std::get_if<std::int64_t>(&v_)) return *i;
+  const auto u = std::get<std::uint64_t>(v_);
+  assert(u <= static_cast<std::uint64_t>(INT64_MAX));
+  return static_cast<std::int64_t>(u);
+}
+
+bool operator==(const json& a, const json& b) {
+  if (a.is_number() && b.is_number()) {
+    const bool ad = std::holds_alternative<double>(a.v_);
+    const bool bd = std::holds_alternative<double>(b.v_);
+    if (ad || bd) return ad == bd && a.as_double() == b.as_double();
+    // Both integral: compare by value across signedness.
+    const bool an = std::holds_alternative<std::int64_t>(a.v_) && a.as_i64() < 0;
+    const bool bn = std::holds_alternative<std::int64_t>(b.v_) && b.as_i64() < 0;
+    if (an != bn) return false;
+    return an ? a.as_i64() == b.as_i64() : a.as_u64() == b.as_u64();
+  }
+  return a.v_ == b.v_;
+}
+
+// ---------------------------------------------------------------------------
+// writer
+// ---------------------------------------------------------------------------
+
+void json::escape_to(std::string_view s, std::string& out) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;  // UTF-8 passes through
+        }
+    }
+  }
+  out += '"';
+}
+
+namespace {
+
+void dump_double(double d, std::string& out) {
+  if (!std::isfinite(d)) {
+    out += "null";  // NaN/Inf are not representable in JSON
+    return;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, d);
+  out.append(buf, res.ptr);
+  // Keep the numeric kind stable through a round-trip: a double that
+  // happens to be integral ("2") must not re-parse as an integer.
+  if (out.find_first_of(".eE", out.size() - static_cast<std::size_t>(res.ptr - buf)) ==
+      std::string::npos) {
+    out += ".0";
+  }
+}
+
+}  // namespace
+
+void json::dump_to(std::string& out) const {
+  if (const auto* b = std::get_if<bool>(&v_)) {
+    out += *b ? "true" : "false";
+  } else if (const auto* i = std::get_if<std::int64_t>(&v_)) {
+    out += std::to_string(*i);
+  } else if (const auto* u = std::get_if<std::uint64_t>(&v_)) {
+    out += std::to_string(*u);
+  } else if (const auto* d = std::get_if<double>(&v_)) {
+    dump_double(*d, out);
+  } else if (const auto* s = std::get_if<std::string>(&v_)) {
+    escape_to(*s, out);
+  } else if (const auto* a = std::get_if<array_t>(&v_)) {
+    out += '[';
+    for (std::size_t i = 0; i < a->size(); ++i) {
+      if (i > 0) out += ',';
+      (*a)[i].dump_to(out);
+    }
+    out += ']';
+  } else if (const auto* o = std::get_if<object_t>(&v_)) {
+    out += '{';
+    for (std::size_t i = 0; i < o->size(); ++i) {
+      if (i > 0) out += ',';
+      escape_to((*o)[i].first, out);
+      out += ':';
+      (*o)[i].second.dump_to(out);
+    }
+    out += '}';
+  } else {
+    out += "null";
+  }
+}
+
+std::string json::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr int kMaxDepth = 256;
+
+struct parser {
+  const char* p;
+  const char* end;
+
+  void skip_ws() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) ++p;
+  }
+
+  bool consume(char c) {
+    if (p < end && *p == c) {
+      ++p;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char* lit) {
+    const std::size_t n = std::strlen(lit);
+    if (static_cast<std::size_t>(end - p) < n || std::memcmp(p, lit, n) != 0) {
+      return false;
+    }
+    p += n;
+    return true;
+  }
+
+  static void append_utf8(std::uint32_t cp, std::string& out) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool hex4(std::uint32_t& out) {
+    if (end - p < 4) return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = *p++;
+      out <<= 4;
+      if (c >= '0' && c <= '9') out |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') out |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') out |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else return false;
+    }
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return false;
+    while (p < end) {
+      const char c = *p++;
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (p >= end) return false;
+        const char e = *p++;
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            std::uint32_t cp = 0;
+            if (!hex4(cp)) return false;
+            if (cp >= 0xD800 && cp <= 0xDBFF) {
+              // High surrogate: must be followed by \uDC00..\uDFFF.
+              std::uint32_t lo = 0;
+              if (!consume('\\') || !consume('u') || !hex4(lo) || lo < 0xDC00 ||
+                  lo > 0xDFFF) {
+                return false;
+              }
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+              return false;  // lone low surrogate
+            }
+            append_utf8(cp, out);
+            break;
+          }
+          default: return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control character in string
+      } else {
+        out += c;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_number(json& out) {
+    const char* start = p;
+    if (p < end && *p == '-') ++p;
+    while (p < end && ((*p >= '0' && *p <= '9') || *p == '.' || *p == 'e' ||
+                       *p == 'E' || *p == '+' || *p == '-')) {
+      ++p;
+    }
+    const std::string_view tok(start, static_cast<std::size_t>(p - start));
+    if (tok.empty()) return false;
+    const bool is_float =
+        tok.find_first_of(".eE") != std::string_view::npos;
+    if (!is_float) {
+      if (tok[0] == '-') {
+        std::int64_t v = 0;
+        const auto r = std::from_chars(tok.begin(), tok.end(), v);
+        if (r.ec != std::errc() || r.ptr != tok.end()) return false;
+        out = json(v);
+        return true;
+      }
+      std::uint64_t v = 0;
+      const auto r = std::from_chars(tok.begin(), tok.end(), v);
+      if (r.ec != std::errc() || r.ptr != tok.end()) return false;
+      out = json(v);
+      return true;
+    }
+    double v = 0;
+    const auto r = std::from_chars(tok.begin(), tok.end(), v);
+    if (r.ec != std::errc() || r.ptr != tok.end()) return false;
+    out = json(v);
+    return true;
+  }
+
+  bool parse_value(json& out, int depth) {
+    if (depth > kMaxDepth) return false;
+    skip_ws();
+    if (p >= end) return false;
+    switch (*p) {
+      case 'n': return literal("null") && (out = json(), true);
+      case 't': return literal("true") && (out = json(true), true);
+      case 'f': return literal("false") && (out = json(false), true);
+      case '"': {
+        std::string s;
+        if (!parse_string(s)) return false;
+        out = json(std::move(s));
+        return true;
+      }
+      case '[': {
+        ++p;
+        out = json::array();
+        skip_ws();
+        if (consume(']')) return true;
+        for (;;) {
+          json elem;
+          if (!parse_value(elem, depth + 1)) return false;
+          out.push_back(std::move(elem));
+          skip_ws();
+          if (consume(']')) return true;
+          if (!consume(',')) return false;
+        }
+      }
+      case '{': {
+        ++p;
+        out = json::object();
+        skip_ws();
+        if (consume('}')) return true;
+        for (;;) {
+          skip_ws();
+          std::string key;
+          if (!parse_string(key)) return false;
+          skip_ws();
+          if (!consume(':')) return false;
+          json val;
+          if (!parse_value(val, depth + 1)) return false;
+          out[key] = std::move(val);
+          skip_ws();
+          if (consume('}')) return true;
+          if (!consume(',')) return false;
+        }
+      }
+      default: return parse_number(out);
+    }
+  }
+};
+
+}  // namespace
+
+std::optional<json> json::parse(std::string_view text) {
+  parser ps{text.data(), text.data() + text.size()};
+  json out;
+  if (!ps.parse_value(out, 0)) return std::nullopt;
+  ps.skip_ws();
+  if (ps.p != ps.end) return std::nullopt;  // trailing garbage
+  return out;
+}
+
+}  // namespace sfg::obs

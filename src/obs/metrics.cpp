@@ -1,0 +1,154 @@
+#include "obs/metrics.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "obs/trace.hpp"
+
+namespace sfg::obs {
+
+namespace {
+
+/// SFG_METRICS / programmatic report path, guarded for cross-rank access.
+struct report_path_state {
+  std::mutex mu;
+  std::string path;
+};
+
+report_path_state& report_path() {
+  static report_path_state s;
+  return s;
+}
+
+}  // namespace
+
+namespace detail {
+
+obs_toggles::obs_toggles() {
+  if (const char* env = std::getenv("SFG_METRICS"); env != nullptr && *env != '\0') {
+    metrics.store(true, std::memory_order_relaxed);
+    auto& rp = report_path();
+    const std::scoped_lock lock(rp.mu);
+    rp.path = env;
+  }
+  if (const char* env = std::getenv("SFG_TRACE"); env != nullptr && *env != '\0') {
+    trace.store(true, std::memory_order_relaxed);
+    // One writer for the whole process: whatever was traced by exit time
+    // lands at the SFG_TRACE path, no matter which layer traced it.
+    static std::string trace_path;
+    trace_path = env;
+    std::atexit([] { write_chrome_trace(trace_path); });
+  }
+}
+
+obs_toggles& toggles() {
+  static obs_toggles t;
+  return t;
+}
+
+}  // namespace detail
+
+void set_metrics_enabled(bool on) {
+  detail::toggles().metrics.store(on, std::memory_order_relaxed);
+}
+
+std::string metrics_report_path() {
+  detail::toggles();  // ensure env init happened
+  auto& rp = report_path();
+  const std::scoped_lock lock(rp.mu);
+  return rp.path;
+}
+
+void set_metrics_report_path(std::string path) {
+  detail::toggles();
+  auto& rp = report_path();
+  const std::scoped_lock lock(rp.mu);
+  rp.path = std::move(path);
+}
+
+// ---------------------------------------------------------------------------
+// registry
+// ---------------------------------------------------------------------------
+
+struct metrics_registry::impl {
+  mutable std::mutex mu;
+  // unique_ptr values: handle addresses must survive map rehash/insertion.
+  std::map<std::string, std::unique_ptr<counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<timer_metric>, std::less<>> timers;
+};
+
+metrics_registry::impl& metrics_registry::state() const {
+  static impl s;
+  return s;
+}
+
+metrics_registry& metrics_registry::instance() {
+  static metrics_registry r;
+  detail::toggles();  // pull env toggles in before the first handle is used
+  return r;
+}
+
+counter& metrics_registry::get_counter(std::string_view name) {
+  impl& s = state();
+  const std::scoped_lock lock(s.mu);
+  auto it = s.counters.find(name);
+  if (it == s.counters.end()) {
+    it = s.counters.emplace(std::string(name), std::make_unique<counter>()).first;
+  }
+  return *it->second;
+}
+
+gauge& metrics_registry::get_gauge(std::string_view name) {
+  impl& s = state();
+  const std::scoped_lock lock(s.mu);
+  auto it = s.gauges.find(name);
+  if (it == s.gauges.end()) {
+    it = s.gauges.emplace(std::string(name), std::make_unique<gauge>()).first;
+  }
+  return *it->second;
+}
+
+timer_metric& metrics_registry::get_timer(std::string_view name) {
+  impl& s = state();
+  const std::scoped_lock lock(s.mu);
+  auto it = s.timers.find(name);
+  if (it == s.timers.end()) {
+    it = s.timers.emplace(std::string(name), std::make_unique<timer_metric>()).first;
+  }
+  return *it->second;
+}
+
+json metrics_registry::snapshot() const {
+  impl& s = state();
+  const std::scoped_lock lock(s.mu);
+  json out = json::object();
+  json counters = json::object();
+  for (const auto& [name, c] : s.counters) counters[name] = c->value();
+  out["counters"] = std::move(counters);
+  json gauges = json::object();
+  for (const auto& [name, g] : s.gauges) gauges[name] = g->value();
+  out["gauges"] = std::move(gauges);
+  json timers = json::object();
+  for (const auto& [name, t] : s.timers) {
+    json entry = json::object();
+    entry["count"] = t->count();
+    entry["total_ms"] = static_cast<double>(t->total_ns()) / 1e6;
+    entry["max_ms"] = static_cast<double>(t->max_ns()) / 1e6;
+    timers[name] = std::move(entry);
+  }
+  out["timers"] = std::move(timers);
+  return out;
+}
+
+void metrics_registry::reset_values() {
+  impl& s = state();
+  const std::scoped_lock lock(s.mu);
+  for (auto& [name, c] : s.counters) c->reset();
+  for (auto& [name, g] : s.gauges) g->reset();
+  for (auto& [name, t] : s.timers) t->reset();
+}
+
+}  // namespace sfg::obs

@@ -1,0 +1,179 @@
+/// \file metrics.hpp
+/// Process-wide metrics registry: named monotonic counters, gauges and
+/// timers, aggregated across all in-process ranks (ranks are threads, so
+/// one registry sees the whole "cluster" — the per-rank view stays in the
+/// subsystem stats structs, see stats_fields.hpp).
+///
+/// Cost model, same pattern as runtime::fault_params: everything is gated
+/// on one cached bool (`metrics_on()`, a relaxed atomic load initialized
+/// once from the environment).  Disabled, an instrumented site is a single
+/// predictable branch — no clock reads, no atomics RMW, no allocation
+/// (tests/obs/metrics_test.cpp verifies the zero-allocation claim with a
+/// counting operator new).  Enabled, a counter bump is one relaxed
+/// fetch_add.
+///
+/// Environment switches (mirroring SFG_LOG / SFG_CHAOS_SEED):
+///   SFG_METRICS=<path>  enable metrics; visitor-queue traversals append a
+///                       structured JSON report at <path> (run_report.hpp)
+///   SFG_TRACE=<path>    enable tracing; a Chrome/Perfetto-loadable trace
+///                       is written to <path> at process exit (trace.hpp)
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/json.hpp"
+
+namespace sfg::obs {
+
+namespace detail {
+
+/// Lazily-initialized process toggles; the constructor (metrics.cpp) reads
+/// SFG_METRICS / SFG_TRACE once and registers the exit-time trace writer.
+struct obs_toggles {
+  obs_toggles();
+  std::atomic<bool> metrics{false};
+  std::atomic<bool> trace{false};
+};
+
+obs_toggles& toggles();
+
+}  // namespace detail
+
+/// The cached-bool gate: one relaxed load, one predictable branch.
+[[nodiscard]] inline bool metrics_on() noexcept {
+  return detail::toggles().metrics.load(std::memory_order_relaxed);
+}
+
+/// Programmatic override (benches/CLI/tests); the env var is only the
+/// default.
+void set_metrics_enabled(bool on);
+
+/// Path for traversal run reports (SFG_METRICS or set_metrics_report_path);
+/// empty when reporting is off.
+[[nodiscard]] std::string metrics_report_path();
+void set_metrics_report_path(std::string path);
+
+/// Monotonic named counter.  Handles are stable for the process lifetime;
+/// cache the reference at the instrumentation site.
+class counter {
+ public:
+  /// Gated add: no-op (one branch) while metrics are disabled.
+  void add(std::uint64_t n = 1) noexcept {
+    if (metrics_on()) v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  /// Ungated add, for sites that already checked metrics_on() once for a
+  /// whole block of updates.
+  void add_raw(std::uint64_t n) noexcept { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written named value (e.g. queue depth, cache occupancy).
+class gauge {
+ public:
+  void set(double v) noexcept {
+    if (metrics_on()) v_.store(v, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Named duration accumulator: count, total and max, all in nanoseconds.
+class timer_metric {
+ public:
+  void record(std::uint64_t ns) noexcept {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    total_ns_.fetch_add(ns, std::memory_order_relaxed);
+    std::uint64_t prev = max_ns_.load(std::memory_order_relaxed);
+    while (prev < ns &&
+           !max_ns_.compare_exchange_weak(prev, ns, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total_ns() const noexcept {
+    return total_ns_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t max_ns() const noexcept {
+    return max_ns_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept {
+    count_.store(0, std::memory_order_relaxed);
+    total_ns_.store(0, std::memory_order_relaxed);
+    max_ns_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> total_ns_{0};
+  std::atomic<std::uint64_t> max_ns_{0};
+};
+
+/// RAII timer: reads the clock only while metrics are enabled.
+class scoped_timer {
+ public:
+  explicit scoped_timer(timer_metric& t) noexcept : t_(&t) {
+    if (metrics_on()) {
+      armed_ = true;
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~scoped_timer() {
+    if (armed_) {
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+      t_->record(static_cast<std::uint64_t>(ns));
+    }
+  }
+  scoped_timer(const scoped_timer&) = delete;
+  scoped_timer& operator=(const scoped_timer&) = delete;
+
+ private:
+  timer_metric* t_;
+  bool armed_ = false;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+/// The process-wide registry.  Lookup is mutex-protected (do it once per
+/// site and cache the reference); the returned handles are lock-free.
+class metrics_registry {
+ public:
+  static metrics_registry& instance();
+
+  counter& get_counter(std::string_view name);
+  gauge& get_gauge(std::string_view name);
+  timer_metric& get_timer(std::string_view name);
+
+  /// Everything registered, as one JSON object:
+  ///   {"counters": {name: u64}, "gauges": {name: f64},
+  ///    "timers": {name: {count, total_ms, max_ms}}}
+  /// Names are emitted in sorted order (reports stay diffable).
+  [[nodiscard]] json snapshot() const;
+
+  /// Zero every registered value (registration survives).  Benches use
+  /// this between configurations; instrumented sites keep their handles.
+  void reset_values();
+
+ private:
+  metrics_registry() = default;
+  struct impl;
+  impl& state() const;
+};
+
+}  // namespace sfg::obs

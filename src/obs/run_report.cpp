@@ -1,0 +1,68 @@
+#include "obs/run_report.hpp"
+
+#include <fstream>
+#include <mutex>
+
+#include "obs/metrics.hpp"
+#include "util/log.hpp"
+
+namespace sfg::obs {
+
+json run_report::to_json() const {
+  json doc = json::object();
+  doc["schema"] = "sfg-run-report/1";
+  doc["name"] = name_;
+  doc["params"] = params_;
+  for (const auto& [key, v] : sections_.items()) doc[key] = v;
+  doc["metrics"] = metrics_registry::instance().snapshot();
+  return doc;
+}
+
+bool run_report::write(const std::string& path) const {
+  return write_json_file(path, to_json());
+}
+
+bool write_json_file(const std::string& path, const json& v) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    SFG_LOG_WARN << "report: cannot open " << path << " for writing";
+    return false;
+  }
+  out << v.dump() << '\n';
+  return out.good();
+}
+
+namespace {
+
+struct traversal_collector {
+  std::mutex mu;
+  json entries = json::array();
+};
+
+traversal_collector& collector() {
+  static traversal_collector c;
+  return c;
+}
+
+}  // namespace
+
+void append_traversal_report(json entry) {
+  const std::string path = metrics_report_path();
+  if (path.empty()) return;
+  auto& c = collector();
+  const std::scoped_lock lock(c.mu);
+  c.entries.push_back(std::move(entry));
+  json doc = json::object();
+  doc["schema"] = "sfg-metrics/1";
+  doc["traversals"] = c.entries;
+  doc["metrics"] = metrics_registry::instance().snapshot();
+  write_json_file(path, doc);
+}
+
+void clear_traversal_reports() {
+  auto& c = collector();
+  const std::scoped_lock lock(c.mu);
+  c.entries = json::array();
+}
+
+}  // namespace sfg::obs

@@ -1,0 +1,136 @@
+/// \file stats_fields.hpp
+/// One reflection convention for every per-subsystem stats struct
+/// (core::traversal_stats, mailbox_stats, comm::traffic_stats,
+/// page_cache::cache_stats, sim_nvram_device::io_stats, ...).
+///
+/// Each struct opts in where it is defined by specializing
+/// `sfg::obs::stats_traits<T>` with a tuple of named member pointers.
+/// In exchange it gets, with no hand-written field copies:
+///   - stats_delta(after, before) / operator-  — per-phase deltas (e.g.
+///     per-BFS-level mailbox traffic = stats() - snapshot-at-level-start)
+///   - stats_add(into, other)                  — cross-rank totals
+///   - stats_reset(s)                          — the reset convention
+///   - stats_to_json(s)                        — report serialization
+///   - stats_to_registry(prefix, s)            — fold a snapshot into the
+///     process-wide metrics registry as "<prefix>.<field>" counters
+/// Nested reflected structs recurse (traversal_stats embeds the mailbox
+/// snapshot), so "one struct, one field list" stays true at every level.
+///
+/// `operator-` lives in sfg::obs; pull it in with `using sfg::obs::operator-;`
+/// (ADL cannot find it for structs living in other sfg namespaces).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <type_traits>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace sfg::obs {
+
+/// Specialize with:
+///   template <> struct stats_traits<my_stats> {
+///     static constexpr auto fields = std::make_tuple(
+///         stats_field{"hits", &my_stats::hits}, ...);
+///   };
+template <typename T>
+struct stats_traits;
+
+template <typename Owner, typename M>
+struct stats_field {
+  const char* name;
+  M Owner::* member;
+};
+template <typename Owner, typename M>
+stats_field(const char*, M Owner::*) -> stats_field<Owner, M>;
+
+template <typename T>
+concept reflected_stats =
+    requires { stats_traits<std::remove_cvref_t<T>>::fields; };
+
+/// Call f(field) for every stats_field of T.
+template <reflected_stats T, typename F>
+constexpr void for_each_stats_field(F&& f) {
+  std::apply([&](const auto&... fl) { (f(fl), ...); },
+             stats_traits<std::remove_cvref_t<T>>::fields);
+}
+
+/// Field-wise `after - before` (counters are monotonic within a phase, so
+/// the delta is the per-phase activity).
+template <reflected_stats T>
+[[nodiscard]] T stats_delta(const T& after, const T& before) {
+  T out{};
+  for_each_stats_field<T>([&](const auto& fl) {
+    using M = std::remove_cvref_t<decltype(after.*(fl.member))>;
+    if constexpr (reflected_stats<M>) {
+      out.*(fl.member) = stats_delta(after.*(fl.member), before.*(fl.member));
+    } else {
+      out.*(fl.member) =
+          static_cast<M>((after.*(fl.member)) - (before.*(fl.member)));
+    }
+  });
+  return out;
+}
+
+template <reflected_stats T>
+[[nodiscard]] T operator-(const T& after, const T& before) {
+  return stats_delta(after, before);
+}
+
+/// Field-wise accumulate, for reducing per-rank snapshots into totals.
+template <reflected_stats T>
+void stats_add(T& into, const T& other) {
+  for_each_stats_field<T>([&](const auto& fl) {
+    using M = std::remove_cvref_t<decltype(into.*(fl.member))>;
+    if constexpr (reflected_stats<M>) {
+      stats_add(into.*(fl.member), other.*(fl.member));
+    } else {
+      into.*(fl.member) = static_cast<M>((into.*(fl.member)) + (other.*(fl.member)));
+    }
+  });
+}
+
+template <reflected_stats T>
+void stats_reset(T& s) {
+  s = T{};
+}
+
+template <reflected_stats T>
+[[nodiscard]] json stats_to_json(const T& s) {
+  json out = json::object();
+  for_each_stats_field<T>([&](const auto& fl) {
+    using M = std::remove_cvref_t<decltype(s.*(fl.member))>;
+    if constexpr (reflected_stats<M>) {
+      out[fl.name] = stats_to_json(s.*(fl.member));
+    } else if constexpr (std::is_floating_point_v<M>) {
+      out[fl.name] = static_cast<double>(s.*(fl.member));
+    } else {
+      out[fl.name] = static_cast<std::uint64_t>(s.*(fl.member));
+    }
+  });
+  return out;
+}
+
+/// Add a snapshot's fields into the registry as "<prefix>.<field>"
+/// counters (nested structs extend the prefix).  Callers pass a *delta*
+/// snapshot when the same struct may be folded more than once.  Ungated:
+/// check metrics_on() before calling.
+template <reflected_stats T>
+void stats_to_registry(const std::string& prefix, const T& s) {
+  auto& reg = metrics_registry::instance();
+  for_each_stats_field<T>([&](const auto& fl) {
+    using M = std::remove_cvref_t<decltype(s.*(fl.member))>;
+    const std::string name = prefix + "." + fl.name;
+    if constexpr (reflected_stats<M>) {
+      stats_to_registry(name, s.*(fl.member));
+    } else if constexpr (!std::is_floating_point_v<M>) {
+      reg.get_counter(name).add_raw(static_cast<std::uint64_t>(s.*(fl.member)));
+    } else {
+      reg.get_gauge(name).set(static_cast<double>(s.*(fl.member)));
+    }
+  });
+}
+
+}  // namespace sfg::obs

@@ -36,6 +36,14 @@ comm::comm(world& w, int rank)
     : world_(&w),
       rank_(rank),
       sent_per_dest_(static_cast<std::size_t>(w.size()), 0),
+      m_messages_sent_(
+          obs::metrics_registry::instance().get_counter("comm.messages_sent")),
+      m_bytes_sent_(
+          obs::metrics_registry::instance().get_counter("comm.bytes_sent")),
+      m_messages_received_(obs::metrics_registry::instance().get_counter(
+          "comm.messages_received")),
+      m_bytes_received_(obs::metrics_registry::instance().get_counter(
+          "comm.bytes_received")),
       fault_stream_(w.faults_.seed, static_cast<std::uint64_t>(rank)) {}
 
 void comm::send(int dest, int tag, std::span<const std::byte> data) {
@@ -61,6 +69,8 @@ void comm::send(int dest, int tag, std::span<const std::byte> data) {
   ++stats_.messages_sent;
   stats_.bytes_sent += data.size();
   ++sent_per_dest_[static_cast<std::size_t>(dest)];
+  m_messages_sent_.add(1);
+  m_bytes_sent_.add(data.size());
 }
 
 void comm::fault_send(int dest, message m) {
@@ -124,6 +134,8 @@ bool comm::try_recv(message& out) {
   ep.inbox.pop_front();
   ++stats_.messages_received;
   stats_.bytes_received += out.payload.size();
+  m_messages_received_.add(1);
+  m_bytes_received_.add(out.payload.size());
   return true;
 }
 

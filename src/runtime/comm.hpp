@@ -24,6 +24,8 @@
 #include <span>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/stats_fields.hpp"
 #include "runtime/barrier.hpp"
 #include "runtime/fault.hpp"
 #include "runtime/message.hpp"
@@ -255,9 +257,27 @@ class comm {
   int rank_;
   traffic_stats stats_;
   std::vector<std::uint64_t> sent_per_dest_;
+  /// Process-wide registry counters (handles cached at construction; each
+  /// add is one metrics_on() branch when the registry is disabled).
+  obs::counter& m_messages_sent_;
+  obs::counter& m_bytes_sent_;
+  obs::counter& m_messages_received_;
+  obs::counter& m_bytes_received_;
   /// Per-rank fault decision stream: decision n is a pure function of
   /// (fault seed, this rank, n), so a seed pins each rank's schedule.
   util::chaos_stream fault_stream_;
 };
 
 }  // namespace sfg::runtime
+
+/// Reflection for the shared stats conventions (delta / add / reset /
+/// to_json / to_registry) — see obs/stats_fields.hpp.
+template <>
+struct sfg::obs::stats_traits<sfg::runtime::comm::traffic_stats> {
+  using S = sfg::runtime::comm::traffic_stats;
+  static constexpr auto fields = std::make_tuple(
+      stats_field{"messages_sent", &S::messages_sent},
+      stats_field{"messages_received", &S::messages_received},
+      stats_field{"bytes_sent", &S::bytes_sent},
+      stats_field{"bytes_received", &S::bytes_received});
+};

@@ -5,6 +5,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/log.hpp"
+
 namespace sfg::runtime {
 
 void launch(int num_ranks, const std::function<void(comm&)>& rank_main,
@@ -16,6 +18,7 @@ void launch(int num_ranks, const std::function<void(comm&)>& rank_main,
   std::exception_ptr secondary_failure;  // barrier_poisoned fallout
 
   auto run_rank = [&](int rank) {
+    util::set_thread_rank(rank);
     try {
       rank_main(w.rank_comm(rank));
     } catch (const barrier_poisoned&) {

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace sfg::runtime {
 
 // ---------------------------------------------------------------------------
@@ -28,6 +30,7 @@ void tree_termination::send_control(int dest, const control_msg& m) {
 
 void tree_termination::begin_wave(std::uint32_t wave) {
   current_wave_ = wave;
+  wave_start_us_ = obs::trace_on() ? obs::trace_now_us() : 0;
   child_reports_ = 0;
   child_reported_[0] = child_reported_[1] = false;
   child_sent_sum_ = 0;
@@ -67,6 +70,7 @@ void tree_termination::on_message(const message& m) {
       // Flood down exactly once; replays must not re-flood the subtree.
       if (!finished_) {
         finished_ = true;
+        obs::trace_instant("term.done", "term");
         flood_done();
       }
       break;
@@ -84,6 +88,20 @@ void tree_termination::try_report(std::uint64_t local_sent,
   const std::uint64_t recv = local_recv + child_recv_sum_;
   reported_wave_ = current_wave_;
   ++completed_waves_;
+  // Waves are frequent while a traversal is active (the root re-arms
+  // immediately), so skip even the registry lookup when metrics are off.
+  if (obs::metrics_on()) {
+    obs::metrics_registry::instance().get_counter("term.waves").add_raw(1);
+  }
+  if (wave_start_us_ != 0) {
+    // Per-rank wave span: from this rank learning of the wave to its
+    // report going up the tree — the visual of how long quiescence
+    // confirmation idled each rank.
+    obs::trace_complete("term.wave", "term", wave_start_us_,
+                        obs::trace_now_us() - wave_start_us_, "wave",
+                        static_cast<double>(current_wave_));
+    wave_start_us_ = 0;
+  }
 
   if (comm_->rank() == 0) {
     wave_sent_total_ = sent;
@@ -105,6 +123,7 @@ void tree_termination::finalize_root_wave() {
                       prev_recv_total_ == wave_recv_total_;
   if (balanced && stable) {
     finished_ = true;
+    obs::trace_instant("term.done", "term");
     flood_done();
     return;
   }
@@ -215,6 +234,13 @@ bool safra_termination::poll(std::uint64_t local_sent,
     // (nothing to evaluate yet) or one that completed a full loop.
     if (!initial_token_) {
       ++rounds_;
+      if (obs::metrics_on()) {
+        obs::metrics_registry::instance()
+            .get_counter("term.safra_rounds")
+            .add_raw(1);
+      }
+      obs::trace_instant("term.safra_round", "term", "round",
+                         static_cast<double>(rounds_));
       const std::int64_t total =
           token_.deficit + static_cast<std::int64_t>(local_sent) -
           static_cast<std::int64_t>(local_recv);

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 
+#include "obs/trace.hpp"
 #include "runtime/comm.hpp"
 
 namespace sfg::runtime {
@@ -83,6 +84,9 @@ class tree_termination {
   bool child_reported_[2] = {false, false};  // dedup per child per wave
   std::uint64_t child_sent_sum_ = 0;
   std::uint64_t child_recv_sum_ = 0;
+  /// Trace: when this rank's current wave opened (begin_wave); the span
+  /// closes when the rank reports up.  0 = not tracing / no open wave.
+  std::uint64_t wave_start_us_ = 0;
 
   // root only:
   bool have_prev_totals_ = false;

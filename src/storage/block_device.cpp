@@ -9,6 +9,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/metrics.hpp"
+
 namespace sfg::storage {
 
 // ---------------------------------------------------------------------------
@@ -136,6 +138,11 @@ void sim_nvram_device::read(std::uint64_t offset, std::span<std::byte> out) {
     ++stats_.reads;
     stats_.bytes_read += out.size();
   }
+  if (obs::metrics_on()) {
+    auto& reg = obs::metrics_registry::instance();
+    reg.get_counter("nvram.reads").add_raw(1);
+    reg.get_counter("nvram.bytes_read").add_raw(out.size());
+  }
   release_slot();
 }
 
@@ -149,6 +156,11 @@ void sim_nvram_device::write(std::uint64_t offset,
     ++stats_.writes;
     stats_.bytes_written += data.size();
   }
+  if (obs::metrics_on()) {
+    auto& reg = obs::metrics_registry::instance();
+    reg.get_counter("nvram.writes").add_raw(1);
+    reg.get_counter("nvram.bytes_written").add_raw(data.size());
+  }
   release_slot();
 }
 
@@ -159,6 +171,11 @@ std::uint64_t sim_nvram_device::size_bytes() const {
 sim_nvram_device::io_stats sim_nvram_device::stats() const {
   const std::scoped_lock lock(mu_);
   return stats_;
+}
+
+void sim_nvram_device::reset_stats() {
+  const std::scoped_lock lock(mu_);
+  stats_ = io_stats{};
 }
 
 }  // namespace sfg::storage

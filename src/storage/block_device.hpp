@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/stats_fields.hpp"
+
 namespace sfg::storage {
 
 class block_device {
@@ -99,6 +101,7 @@ class sim_nvram_device final : public block_device {
     std::uint64_t bytes_written = 0;
   };
   [[nodiscard]] io_stats stats() const;
+  void reset_stats();
 
  private:
   class inflight_slot;
@@ -122,3 +125,14 @@ void write_array(block_device& dev, std::uint64_t offset,
 }
 
 }  // namespace sfg::storage
+
+/// Reflection for the shared stats conventions (delta / add / reset /
+/// to_json / to_registry) — see obs/stats_fields.hpp.
+template <>
+struct sfg::obs::stats_traits<sfg::storage::sim_nvram_device::io_stats> {
+  using S = sfg::storage::sim_nvram_device::io_stats;
+  static constexpr auto fields = std::make_tuple(
+      stats_field{"reads", &S::reads}, stats_field{"writes", &S::writes},
+      stats_field{"bytes_read", &S::bytes_read},
+      stats_field{"bytes_written", &S::bytes_written});
+};

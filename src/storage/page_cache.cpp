@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/trace.hpp"
+
 namespace sfg::storage {
 
 page_cache::page_cache(block_device& dev, config cfg)
@@ -11,7 +13,13 @@ page_cache::page_cache(block_device& dev, config cfg)
       cfg_(cfg),
       frames_(cfg.num_frames),
       faults_on_(cfg.faults.enabled()),
-      fault_stream_(cfg.faults.seed, 0xCAC4Eu) {
+      fault_stream_(cfg.faults.seed, 0xCAC4Eu),
+      m_hits_(obs::metrics_registry::instance().get_counter("cache.hits")),
+      m_misses_(obs::metrics_registry::instance().get_counter("cache.misses")),
+      m_evictions_(
+          obs::metrics_registry::instance().get_counter("cache.evictions")),
+      m_writebacks_(
+          obs::metrics_registry::instance().get_counter("cache.writebacks")) {
   if (cfg.page_size == 0 || cfg.num_frames == 0) {
     throw std::invalid_argument("page_cache: page_size and num_frames must be > 0");
   }
@@ -85,6 +93,7 @@ void page_cache::fault_evict_locked() {
     f.page_id = kNoPage;
     f.referenced = false;
     ++stats_.fault_evictions;
+    obs::trace_instant("cache.fault_evict", "storage");
     return;
   }
 }
@@ -115,6 +124,7 @@ page_cache::page_ref page_cache::get(std::uint64_t page_id) {
       ++f.pins;
       f.referenced = true;
       ++stats_.hits;
+      m_hits_.add(1);
       return page_ref(this, it->second, page_id);
     }
 
@@ -136,19 +146,27 @@ page_cache::page_ref page_cache::get(std::uint64_t page_id) {
       const std::uint64_t old_page = f.page_id;
       std::vector<std::byte> copy = f.data;
       const auto io_delay = draw_io_delay_locked();
-      lock.unlock();
-      dev_->write(old_page * cfg_.page_size, copy);
-      if (io_delay.count() > 0) std::this_thread::sleep_for(io_delay);
-      lock.lock();
+      {
+        obs::trace_span span("cache.writeback", "storage");
+        span.set_arg("bytes", static_cast<double>(copy.size()));
+        lock.unlock();
+        dev_->write(old_page * cfg_.page_size, copy);
+        if (io_delay.count() > 0) std::this_thread::sleep_for(io_delay);
+        lock.lock();
+      }
       f.loading = false;
       ++stats_.writebacks;
+      m_writebacks_.add(1);
       cv_.notify_all();
       continue;  // state changed while unlocked; restart the search
     }
 
     if (f.page_id != kNoPage) {
+      obs::trace_instant("cache.evict", "storage", "page",
+                         static_cast<double>(f.page_id));
       page_to_frame_.erase(f.page_id);
       ++stats_.evictions;
+      m_evictions_.add(1);
     }
 
     // Claim the frame and fault the page in with the lock released, so
@@ -162,11 +180,16 @@ page_cache::page_ref page_cache::get(std::uint64_t page_id) {
     f.data.assign(cfg_.page_size, std::byte{0});
     page_to_frame_[page_id] = v;
     ++stats_.misses;
+    m_misses_.add(1);
     const auto io_delay = draw_io_delay_locked();
-    lock.unlock();
-    dev_->read(page_id * cfg_.page_size, f.data);
-    if (io_delay.count() > 0) std::this_thread::sleep_for(io_delay);
-    lock.lock();
+    {
+      obs::trace_span span("cache.miss_fill", "storage");
+      span.set_arg("page", static_cast<double>(page_id));
+      lock.unlock();
+      dev_->read(page_id * cfg_.page_size, f.data);
+      if (io_delay.count() > 0) std::this_thread::sleep_for(io_delay);
+      lock.lock();
+    }
     f.loading = false;
     cv_.notify_all();
     return page_ref(this, v, page_id);
@@ -200,12 +223,17 @@ void page_cache::flush_dirty() {
     const std::uint64_t page = f.page_id;
     std::vector<std::byte> copy = f.data;
     const auto io_delay = draw_io_delay_locked();
-    lock.unlock();
-    dev_->write(page * cfg_.page_size, copy);
-    if (io_delay.count() > 0) std::this_thread::sleep_for(io_delay);
-    lock.lock();
+    {
+      obs::trace_span span("cache.writeback", "storage");
+      span.set_arg("bytes", static_cast<double>(copy.size()));
+      lock.unlock();
+      dev_->write(page * cfg_.page_size, copy);
+      if (io_delay.count() > 0) std::this_thread::sleep_for(io_delay);
+      lock.lock();
+    }
     f.loading = false;
     ++stats_.writebacks;
+    m_writebacks_.add(1);
     cv_.notify_all();
   }
 }

@@ -20,6 +20,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/stats_fields.hpp"
 #include "storage/block_device.hpp"
 #include "util/chaos.hpp"
 
@@ -146,6 +148,25 @@ class page_cache {
   cache_stats stats_;
   bool faults_on_ = false;
   util::chaos_stream fault_stream_;  // guarded by mu_
+  /// Process-wide registry counters (handles cached at construction; each
+  /// add is one metrics_on() branch when the registry is disabled).
+  obs::counter& m_hits_;
+  obs::counter& m_misses_;
+  obs::counter& m_evictions_;
+  obs::counter& m_writebacks_;
 };
 
 }  // namespace sfg::storage
+
+/// Reflection for the shared stats conventions (delta / add / reset /
+/// to_json / to_registry) — see obs/stats_fields.hpp.
+template <>
+struct sfg::obs::stats_traits<sfg::storage::page_cache::cache_stats> {
+  using S = sfg::storage::page_cache::cache_stats;
+  static constexpr auto fields = std::make_tuple(
+      stats_field{"hits", &S::hits}, stats_field{"misses", &S::misses},
+      stats_field{"evictions", &S::evictions},
+      stats_field{"writebacks", &S::writebacks},
+      stats_field{"fault_evictions", &S::fault_evictions},
+      stats_field{"fault_io_delays", &S::fault_io_delays});
+};

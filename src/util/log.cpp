@@ -1,7 +1,10 @@
 #include "util/log.hpp"
 
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <iostream>
 #include <mutex>
 
@@ -19,12 +22,44 @@ log_level global_log_level() {
   return level;
 }
 
+namespace {
+
+thread_local int t_rank = -1;
+
+}  // namespace
+
+void set_thread_rank(int rank) noexcept { t_rank = rank; }
+
+int thread_rank() noexcept { return t_rank; }
+
+std::string log_prefix(log_level level) {
+  static const char* names[] = {"ERROR", "WARN", "INFO", "DEBUG"};
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  localtime_r(&secs, &tm);
+  char rank[16];
+  if (t_rank >= 0) {
+    std::snprintf(rank, sizeof(rank), "r%d", t_rank);
+  } else {
+    std::snprintf(rank, sizeof(rank), "r-");
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "[sfg %02d:%02d:%02d.%03d %s %s] ",
+                tm.tm_hour, tm.tm_min, tm.tm_sec, static_cast<int>(ms), rank,
+                names[static_cast<int>(level)]);
+  return buf;
+}
+
 void log_line(log_level level, const std::string& line) {
   static std::mutex mu;
-  static const char* names[] = {"ERROR", "WARN", "INFO", "DEBUG"};
+  const std::string prefix = log_prefix(level);
   const std::scoped_lock lock(mu);
-  std::cerr << "[sfg:" << names[static_cast<int>(level)] << "] " << line
-            << '\n';
+  std::cerr << prefix << line << '\n';
 }
 
 }  // namespace sfg::util

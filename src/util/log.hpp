@@ -2,6 +2,11 @@
 /// Tiny leveled logger.  Thread-safe line-at-a-time output; level selected
 /// via SFG_LOG environment variable (error|warn|info|debug), default warn,
 /// so tests stay quiet and benches can be made chatty without rebuilds.
+///
+/// Each line is prefixed with wall-clock time and the emitting rank:
+///   [sfg 14:03:52.118 r2 INFO] mailbox: flushed 4 channels
+/// Rank ids come from set_thread_rank(), called by runtime::launch for
+/// every rank thread; threads outside any rank print "r-" instead.
 #pragma once
 
 #include <sstream>
@@ -13,6 +18,16 @@ enum class log_level { error = 0, warn = 1, info = 2, debug = 3 };
 
 /// The process-wide level (read once from SFG_LOG).
 log_level global_log_level();
+
+/// Tag the calling thread with its rank id (-1 = no rank).  Set by
+/// runtime::launch; also read by the trace layer to attribute events.
+void set_thread_rank(int rank) noexcept;
+/// The calling thread's rank id, or -1 when unset.
+[[nodiscard]] int thread_rank() noexcept;
+
+/// The "[sfg HH:MM:SS.mmm rN LEVEL] " prefix the logger stamps on each
+/// line, using the calling thread's rank and the current wall clock.
+[[nodiscard]] std::string log_prefix(log_level level);
 
 /// Thread-safe single-line emit to stderr.
 void log_line(log_level level, const std::string& line);

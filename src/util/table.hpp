@@ -33,6 +33,16 @@ class table {
   /// Render as CSV (no padding), convenient for plotting.
   void print_csv(std::ostream& os) const;
 
+  /// Structured access, used by the bench reporter to serialize tables
+  /// into machine-readable BENCH_*.json rows.
+  [[nodiscard]] const std::vector<std::string>& headers() const noexcept {
+    return headers_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows()
+      const noexcept {
+    return rows_;
+  }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

@@ -199,7 +199,7 @@ TEST(Chaos, MailboxDedupesDuplicatedPackets) {
         auto result = core::run_bfs(g, g.locate(edges.front().src), qc);
         (void)result;
         const auto dropped = c.all_reduce(
-            result.stats.mailbox_dropped_duplicates, std::plus<>());
+            result.stats.mailbox.packets_dropped_duplicate, std::plus<>());
         EXPECT_GT(dropped, 0u);
       },
       runtime::net_params{}, fp);

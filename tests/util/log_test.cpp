@@ -1,0 +1,55 @@
+/// Log-prefix tests: wall-clock + rank-id stamping added for the
+/// observability work.  The format contract is
+///   [sfg HH:MM:SS.mmm rN LEVEL]
+/// with "r-" for threads outside any rank.
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <regex>
+#include <thread>
+
+namespace sfg::util {
+namespace {
+
+TEST(Log, PrefixFormat) {
+  set_thread_rank(-1);
+  const std::string p = log_prefix(log_level::info);
+  // e.g. "[sfg 14:03:52.118 r- INFO] "
+  const std::regex re(
+      R"(\[sfg \d{2}:\d{2}:\d{2}\.\d{3} r- INFO\] )");
+  EXPECT_TRUE(std::regex_match(p, re)) << p;
+}
+
+TEST(Log, PrefixIncludesRank) {
+  set_thread_rank(3);
+  const std::string p = log_prefix(log_level::warn);
+  EXPECT_NE(p.find(" r3 WARN] "), std::string::npos) << p;
+  set_thread_rank(-1);
+  EXPECT_NE(log_prefix(log_level::warn).find(" r- "), std::string::npos);
+}
+
+TEST(Log, LevelNames) {
+  set_thread_rank(-1);
+  EXPECT_NE(log_prefix(log_level::error).find("ERROR]"), std::string::npos);
+  EXPECT_NE(log_prefix(log_level::warn).find("WARN]"), std::string::npos);
+  EXPECT_NE(log_prefix(log_level::info).find("INFO]"), std::string::npos);
+  EXPECT_NE(log_prefix(log_level::debug).find("DEBUG]"), std::string::npos);
+}
+
+TEST(Log, ThreadRankIsPerThread) {
+  set_thread_rank(7);
+  int other = -2;
+  std::thread([&other] {
+    // A fresh thread starts unranked regardless of the parent's tag.
+    other = thread_rank();
+    set_thread_rank(1);
+    EXPECT_EQ(thread_rank(), 1);
+  }).join();
+  EXPECT_EQ(other, -1);
+  EXPECT_EQ(thread_rank(), 7);
+  set_thread_rank(-1);
+}
+
+}  // namespace
+}  // namespace sfg::util

@@ -12,6 +12,14 @@
 ///   sfg_cli components FILE [--ranks P]
 ///   sfg_cli pagerank FILE [--ranks P] [--eps E]
 ///
+/// Every algorithm command also accepts the observability flags:
+///   --json-report PATH   write a machine-readable run report (metrics
+///                        registry snapshot + run parameters) after the run
+///   --trace PATH         record a Chrome-trace/Perfetto timeline of the
+///                        run (spans per rank: traversal, mailbox flushes,
+///                        termination waves, cache I/O)
+/// equivalent to the SFG_METRICS / SFG_TRACE environment variables.
+///
 /// FILEs ending in .txt are treated as text edge lists, anything else as
 /// the packed binary format (io/edge_list_io.hpp).
 #include <cstdlib>
@@ -31,6 +39,9 @@
 #include "gen/generators.hpp"
 #include "graph/distributed_graph.hpp"
 #include "io/edge_list_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_report.hpp"
+#include "obs/trace.hpp"
 #include "runtime/runtime.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
@@ -105,7 +116,10 @@ int usage() {
          "  kcore FILE --k K [--ranks P]\n"
          "  triangles FILE [--ranks P] [--approx SAMPLES]\n"
          "  components FILE [--ranks P]\n"
-         "  pagerank FILE [--ranks P] [--eps E]\n";
+         "  pagerank FILE [--ranks P] [--eps E]\n"
+         "algorithm commands also accept:\n"
+         "  --json-report PATH   write metrics run report when done\n"
+         "  --trace PATH         write Chrome-trace/Perfetto timeline\n";
   return 2;
 }
 
@@ -174,11 +188,42 @@ int cmd_info(const args_map& a) {
   return 0;
 }
 
+/// The CLI side of the observability switches: --json-report / --trace
+/// arm the registry / trace buffer before the run and serialize them
+/// after, mirroring the SFG_METRICS / SFG_TRACE environment variables.
+struct obs_opts {
+  std::string report_path;
+  std::string trace_path;
+
+  explicit obs_opts(const args_map& a)
+      : report_path(a.opt("json-report", "")),
+        trace_path(a.opt("trace", "")) {
+    if (!report_path.empty()) sfg::obs::set_metrics_enabled(true);
+    if (!trace_path.empty()) sfg::obs::set_trace_enabled(true);
+  }
+
+  /// Write whatever was requested; false if a report could not be written.
+  bool finish(const std::string& command, const args_map& a) const {
+    if (!trace_path.empty()) sfg::obs::write_chrome_trace(trace_path);
+    if (report_path.empty()) return true;
+    sfg::obs::run_report rep(command);
+    rep.add_param("file", sfg::obs::json(a.positional.empty()
+                                             ? std::string()
+                                             : a.positional[0]));
+    for (const auto& [key, value] : a.options) {
+      rep.add_param(key, sfg::obs::json(value));
+    }
+    return rep.write(report_path);
+  }
+};
+
 template <typename Fn>
-int with_graph(const args_map& a, std::uint32_t ghosts, Fn&& fn) {
+int with_graph(const args_map& a, const char* command, std::uint32_t ghosts,
+               Fn&& fn) {
   if (a.positional.empty()) return usage();
   const auto path = a.positional[0];
   const int p = static_cast<int>(a.opt_u64("ranks", 4));
+  const obs_opts obs(a);
   int rc = 0;
   sfg::runtime::launch(p, [&](sfg::runtime::comm& c) {
     auto edges = load_edges_distributed(c, path);
@@ -186,11 +231,12 @@ int with_graph(const args_map& a, std::uint32_t ghosts, Fn&& fn) {
                                                {.num_ghosts = ghosts});
     rc = fn(c, g);
   });
+  if (!obs.finish(command, a) && rc == 0) rc = 1;
   return rc;
 }
 
 int cmd_bfs(const args_map& a) {
-  return with_graph(a, static_cast<std::uint32_t>(a.opt_u64("ghosts", 256)),
+  return with_graph(a, "bfs", static_cast<std::uint32_t>(a.opt_u64("ghosts", 256)),
                     [&](sfg::runtime::comm& c, auto& g) {
     auto source = g.locate(a.opt_u64("source", 0));
     if (!source.valid()) {
@@ -250,7 +296,7 @@ int cmd_bfs(const args_map& a) {
 
 int cmd_kcore(const args_map& a) {
   const auto k = static_cast<std::uint32_t>(a.opt_u64("k", 2));
-  return with_graph(a, 0, [&](sfg::runtime::comm& c, auto& g) {
+  return with_graph(a, "kcore", 0, [&](sfg::runtime::comm& c, auto& g) {
     sfg::util::timer t;
     auto result = sfg::core::run_kcore(g, k, {});
     if (c.rank() == 0) {
@@ -264,7 +310,7 @@ int cmd_kcore(const args_map& a) {
 
 int cmd_triangles(const args_map& a) {
   const auto approx = a.opt_u64("approx", 0);
-  return with_graph(a, 0, [&](sfg::runtime::comm& c, auto& g) {
+  return with_graph(a, "triangles", 0, [&](sfg::runtime::comm& c, auto& g) {
     sfg::util::timer t;
     if (approx > 0) {
       const auto est = sfg::core::approx_triangle_count(g, approx, 7);
@@ -285,7 +331,7 @@ int cmd_triangles(const args_map& a) {
 }
 
 int cmd_components(const args_map& a) {
-  return with_graph(a, 64, [&](sfg::runtime::comm& c, auto& g) {
+  return with_graph(a, "components", 64, [&](sfg::runtime::comm& c, auto& g) {
     sfg::util::timer t;
     auto result = sfg::core::run_connected_components(g, {});
     if (c.rank() == 0) {
@@ -298,7 +344,7 @@ int cmd_components(const args_map& a) {
 
 int cmd_pagerank(const args_map& a) {
   const double eps = a.opt_f64("eps", 1e-6);
-  return with_graph(a, 0, [&](sfg::runtime::comm& c, auto& g) {
+  return with_graph(a, "pagerank", 0, [&](sfg::runtime::comm& c, auto& g) {
     sfg::util::timer t;
     auto result = sfg::core::run_pagerank(g, 0.85, eps, {});
     // Top-5 by rank (gathered).

@@ -1,0 +1,195 @@
+/// \file sfg_report_check.cpp
+/// Validator for the observability output formats — CI fails a bench job
+/// when a report is missing or malformed, instead of silently uploading
+/// broken artifacts.
+///
+///   sfg_report_check [--bench FILE]... [--report FILE]... [--trace FILE]...
+///
+///   --bench   BENCH_*.json from bench/bench_common.hpp's reporter:
+///             run-report schema + bench section (wall_time_s, tables)
+///   --report  a run report (sfg-run-report/1, from sfg_cli --json-report)
+///             or a metrics report (sfg-metrics/1, from SFG_METRICS)
+///   --trace   Chrome-trace JSON from SFG_TRACE / --trace
+///
+/// Exit status: 0 if every file validates, 1 otherwise (with one line per
+/// problem on stderr).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using sfg::obs::json;
+
+int g_failures = 0;
+
+void fail(const std::string& file, const std::string& why) {
+  std::cerr << "sfg_report_check: " << file << ": " << why << "\n";
+  ++g_failures;
+}
+
+/// Load + parse, or record a failure and return nullopt.
+std::optional<json> load(const std::string& file) {
+  std::ifstream in(file);
+  if (!in) {
+    fail(file, "cannot open");
+    return std::nullopt;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  auto parsed = json::parse(ss.str());
+  if (!parsed) fail(file, "not valid JSON");
+  return parsed;
+}
+
+bool has_key(const json& obj, std::string_view key) {
+  return obj.is_object() && obj.find(key) != nullptr;
+}
+
+/// Shared between --report and --bench: the sfg-run-report/1 envelope.
+bool check_run_report_envelope(const std::string& file, const json& doc) {
+  if (!has_key(doc, "schema") ||
+      !(*doc.find("schema") == json("sfg-run-report/1"))) {
+    fail(file, "schema is not \"sfg-run-report/1\"");
+    return false;
+  }
+  bool ok = true;
+  if (!has_key(doc, "name") || !doc.find("name")->is_string()) {
+    fail(file, "missing string \"name\"");
+    ok = false;
+  }
+  if (!has_key(doc, "metrics") || !doc.find("metrics")->is_object()) {
+    fail(file, "missing object \"metrics\"");
+    ok = false;
+  } else {
+    const json& m = *doc.find("metrics");
+    for (const char* section : {"counters", "gauges", "timers"}) {
+      if (!has_key(m, section)) {
+        fail(file, std::string("metrics missing \"") + section + "\"");
+        ok = false;
+      }
+    }
+  }
+  return ok;
+}
+
+void check_report(const std::string& file) {
+  const auto doc = load(file);
+  if (!doc) return;
+  // Accept either producer: a run report or a per-traversal metrics file.
+  if (has_key(*doc, "schema") &&
+      *doc->find("schema") == json("sfg-metrics/1")) {
+    if (!has_key(*doc, "traversals") || !doc->find("traversals")->is_array()) {
+      fail(file, "sfg-metrics/1 missing array \"traversals\"");
+    }
+    if (!has_key(*doc, "metrics") || !doc->find("metrics")->is_object()) {
+      fail(file, "sfg-metrics/1 missing object \"metrics\"");
+    }
+    return;
+  }
+  check_run_report_envelope(file, *doc);
+}
+
+void check_bench(const std::string& file) {
+  const auto doc = load(file);
+  if (!doc) return;
+  if (!check_run_report_envelope(file, *doc)) return;
+  if (!has_key(*doc, "schema_bench") ||
+      !(*doc->find("schema_bench") == json("sfg-bench-report/1"))) {
+    fail(file, "schema_bench is not \"sfg-bench-report/1\"");
+    return;
+  }
+  if (!has_key(*doc, "wall_time_s") || !doc->find("wall_time_s")->is_number()) {
+    fail(file, "missing numeric \"wall_time_s\"");
+  }
+  if (!has_key(*doc, "tables") || !doc->find("tables")->is_object() ||
+      doc->find("tables")->size() == 0) {
+    fail(file, "missing non-empty object \"tables\"");
+    return;
+  }
+  for (const auto& [name, t] : doc->find("tables")->items()) {
+    if (!has_key(t, "headers") || !t.find("headers")->is_array() ||
+        !has_key(t, "rows") || !t.find("rows")->is_array()) {
+      fail(file, "table \"" + name + "\" missing headers/rows");
+      continue;
+    }
+    const std::size_t width = t.find("headers")->size();
+    for (std::size_t i = 0; i < t.find("rows")->size(); ++i) {
+      if (t.find("rows")->at(i).size() != width) {
+        fail(file, "table \"" + name + "\" row " + std::to_string(i) +
+                       " width != header width");
+        break;
+      }
+    }
+  }
+}
+
+void check_trace(const std::string& file) {
+  const auto doc = load(file);
+  if (!doc) return;
+  if (!has_key(*doc, "traceEvents") || !doc->find("traceEvents")->is_array()) {
+    fail(file, "missing array \"traceEvents\"");
+    return;
+  }
+  const json& events = *doc->find("traceEvents");
+  if (events.size() == 0) {
+    fail(file, "traceEvents is empty");
+    return;
+  }
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const json& ev = events.at(i);
+    for (const char* key : {"name", "ph", "pid"}) {
+      if (!has_key(ev, key)) {
+        fail(file, "event " + std::to_string(i) + " missing \"" + key + "\"");
+        return;  // one malformed event fails the file; no need to spam
+      }
+    }
+    const std::string ph = ev.find("ph")->as_string();
+    if (ph != "M" && !has_key(ev, "ts")) {
+      fail(file, "event " + std::to_string(i) + " (ph=" + ph +
+                     ") missing \"ts\"");
+      return;
+    }
+    if (ph == "X" && !has_key(ev, "dur")) {
+      fail(file, "complete event " + std::to_string(i) + " missing \"dur\"");
+      return;
+    }
+  }
+}
+
+int usage() {
+  std::cerr << "usage: sfg_report_check [--bench FILE]... [--report FILE]... "
+               "[--trace FILE]...\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  int checked = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (i + 1 >= argc) return usage();
+    const std::string file = argv[++i];
+    if (a == "--bench") {
+      check_bench(file);
+    } else if (a == "--report") {
+      check_report(file);
+    } else if (a == "--trace") {
+      check_trace(file);
+    } else {
+      return usage();
+    }
+    ++checked;
+  }
+  if (g_failures == 0) {
+    std::cout << "sfg_report_check: " << checked << " file(s) OK\n";
+    return 0;
+  }
+  return 1;
+}
