@@ -1,0 +1,94 @@
+/// \file micro_harness.hpp
+/// Tiny google-benchmark-style harness for the hot-path microbenches
+/// (bench/micro/*): auto-calibrated iteration counts, best-of-N reps,
+/// aligned table output, and a machine-readable BENCH_<id>.json report
+/// (sfg-bench-report/1, via bench_common's reporter) that
+/// tools/sfg_bench_diff consumes for regression gating.
+///
+/// Environment knobs (CI uses these to trade precision for speed):
+///   SFG_MICRO_MIN_MS   minimum measured time per rep (default 80)
+///   SFG_MICRO_REPS     repetitions; the best (min ns/op) is reported
+///                      (default 3)
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace sfg::micro {
+
+/// Sink that keeps measured loops from being optimized away: accumulate
+/// per-op results into a local and hand the total to keep() once per call.
+inline void keep(std::uint64_t v) {
+  static volatile std::uint64_t sink = 0;
+  sink = sink + v;
+}
+
+class suite {
+ public:
+  suite(const char* id, const char* description)
+      : reporter_(id, "hot-path microbench", description),
+        table_({"benchmark", "iters", "ns_per_op", "mops_per_s"}) {
+    if (const char* e = std::getenv("SFG_MICRO_MIN_MS")) {
+      min_time_s_ = std::strtod(e, nullptr) / 1e3;
+    }
+    if (const char* e = std::getenv("SFG_MICRO_REPS")) {
+      reps_ = std::max(1, std::atoi(e));
+    }
+  }
+
+  suite(const suite&) = delete;
+  suite& operator=(const suite&) = delete;
+
+  ~suite() {
+    table_.print(std::cout);
+    reporter_.add_table("micro", table_);
+  }
+
+  /// Measure `fn`: fn(iters) must execute the operation batch `iters`
+  /// times; `ops_per_iter` converts one batch into individual operations
+  /// for the ns/op and ops/s figures.
+  void run(const std::string& name, double ops_per_iter,
+           const std::function<void(std::uint64_t)>& fn) {
+    // Calibrate the iteration count until one rep fills the time budget.
+    std::uint64_t iters = 1;
+    double elapsed = time_once(fn, iters);
+    while (elapsed < min_time_s_ && iters < (std::uint64_t{1} << 40)) {
+      const double grow =
+          std::clamp(min_time_s_ / std::max(elapsed, 1e-9) * 1.3, 2.0, 64.0);
+      iters = static_cast<std::uint64_t>(static_cast<double>(iters) * grow);
+      elapsed = time_once(fn, iters);
+    }
+    double best = elapsed / static_cast<double>(iters);
+    for (int r = 1; r < reps_; ++r) {
+      best = std::min(best, time_once(fn, iters) / static_cast<double>(iters));
+    }
+    const double ns_per_op = best * 1e9 / ops_per_iter;
+    const double mops = ops_per_iter / best / 1e6;
+    table_.row().add(name).add(iters).add(ns_per_op, 2).add(mops, 2);
+    std::cout << name << ": " << ns_per_op << " ns/op  (" << mops
+              << " Mops/s)\n";
+  }
+
+ private:
+  static double time_once(const std::function<void(std::uint64_t)>& fn,
+                          std::uint64_t iters) {
+    util::timer t;
+    fn(iters);
+    return t.elapsed_s();
+  }
+
+  bench::reporter reporter_;
+  util::table table_;
+  double min_time_s_ = 0.08;
+  int reps_ = 3;
+};
+
+}  // namespace sfg::micro

@@ -62,6 +62,9 @@ struct bfs_visitor {
   bool operator<(const bfs_visitor& other) const {
     return length < other.length;
   }
+
+  /// Bucketed local queue (core/local_queue.hpp): same key as operator<.
+  [[nodiscard]] std::uint64_t priority_key() const noexcept { return length; }
 };
 
 template <typename Graph>

@@ -46,6 +46,9 @@ struct bfs_validate_visitor {
   }
 
   bool operator<(const bfs_validate_visitor&) const { return false; }
+
+  /// Constant priority: one dial bucket, ordered purely by the tie-key.
+  [[nodiscard]] std::uint64_t priority_key() const noexcept { return 0; }
 };
 
 struct bfs_validation_result {

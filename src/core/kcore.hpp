@@ -61,6 +61,9 @@ struct kcore_visitor {
 
   /// Paper Alg. 4: no visitor order required.
   bool operator<(const kcore_visitor&) const { return false; }
+
+  /// Constant priority: one dial bucket, ordered purely by the tie-key.
+  [[nodiscard]] std::uint64_t priority_key() const noexcept { return 0; }
 };
 
 template <typename Graph>

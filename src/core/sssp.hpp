@@ -57,6 +57,11 @@ struct sssp_visitor {
   bool operator<(const sssp_visitor& other) const {
     return distance < other.distance;
   }
+
+  /// Bucketed local queue (core/local_queue.hpp): same key as operator<.
+  [[nodiscard]] std::uint64_t priority_key() const noexcept {
+    return distance;
+  }
 };
 
 template <typename Graph>

@@ -60,6 +60,9 @@ struct triangle_visitor {
 
   /// Paper Alg. 6: no visitor order required.
   bool operator<(const triangle_visitor&) const { return false; }
+
+  /// Constant priority: one dial bucket, ordered purely by the tie-key.
+  [[nodiscard]] std::uint64_t priority_key() const noexcept { return 0; }
 };
 
 struct triangle_count_result {

@@ -26,11 +26,11 @@
 #pragma once
 
 #include <cstdint>
-#include <queue>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
+#include "core/local_queue.hpp"
 #include "mailbox/routed_mailbox.hpp"
 #include "obs/metrics.hpp"
 #include "obs/run_report.hpp"
@@ -41,16 +41,6 @@
 #include "util/rng.hpp"
 
 namespace sfg::core {
-
-/// How equal-priority visitors are ordered in the local queue.
-enum class order_tiebreak {
-  /// The paper's external-memory locality optimization (§V-A): ascending
-  /// vertex locator, maximizing page-level locality of the CSR.
-  vertex_locality,
-  /// Ablation: a hash of the locator — destroys page locality while
-  /// keeping a deterministic total order.
-  scrambled,
-};
 
 struct queue_config {
   mailbox::topology topo = mailbox::topology::direct;
@@ -63,6 +53,11 @@ struct queue_config {
   /// Local visitors executed between mailbox polls.
   int batch_size = 64;
   order_tiebreak tiebreak = order_tiebreak::vertex_locality;
+  /// Local-queue container (core/local_queue.hpp): `automatic` picks the
+  /// bucketed queue for visitors with an integral priority_key() and the
+  /// reference heap otherwise; `heap`/`bucket` force one (benches and
+  /// equivalence tests).
+  queue_impl impl = queue_impl::automatic;
   /// Fault injection for this traversal (runtime/fault.hpp): the stall
   /// knobs make this rank sleep mid-traversal between poll iterations,
   /// deterministically per (faults.seed, rank, iteration).  Transport
@@ -173,10 +168,13 @@ class visitor_queue {
         }
       }
       mailbox_.drain_local(deliver);
+      // Age clock for the adaptive flush: one tick per poll iteration, so
+      // sparse channels stop sitting on records for whole idle stretches.
+      mailbox_.tick();
 
       // Execute a bounded batch of local visitors, best-first.
       for (int i = 0; i < cfg_.batch_size && !local_queue_.empty(); ++i) {
-        Visitor v = local_queue_.top();
+        const Visitor v = local_queue_.top();
         local_queue_.pop();
         const auto slot = graph_->slot_of(v.vertex);
         assert(slot.has_value());  // only chain ranks ever enqueue locally
@@ -280,30 +278,13 @@ class visitor_queue {
     }
   }
 
-  /// Min-heap: smallest visitor on top; ties in algorithm priority fall
-  /// back to vertex order for page locality (§V-A), or a scrambled order
-  /// for the locality ablation.
-  struct heap_cmp {
-    order_tiebreak mode = order_tiebreak::vertex_locality;
-    bool operator()(const Visitor& a, const Visitor& b) const {
-      if (b < a) return true;
-      if (a < b) return false;
-      const std::uint64_t ka = mode == order_tiebreak::vertex_locality
-                                   ? a.vertex.bits()
-                                   : util::splitmix64(a.vertex.bits());
-      const std::uint64_t kb = mode == order_tiebreak::vertex_locality
-                                   ? b.vertex.bits()
-                                   : util::splitmix64(b.vertex.bits());
-      return ka > kb;
-    }
-  };
-
   Graph* graph_;
   State* state_;
   queue_config cfg_;
   mailbox::routed_mailbox mailbox_;
-  std::priority_queue<Visitor, std::vector<Visitor>, heap_cmp> local_queue_{
-      heap_cmp{cfg_.tiebreak}};
+  /// Smallest (priority, tie-key) first; container per cfg_.impl — see
+  /// core/local_queue.hpp for the bucket/heap split.
+  local_queue<Visitor> local_queue_{cfg_.impl, cfg_.tiebreak};
   traversal_stats stats_;
   /// What publish_metrics() last folded into the registry.
   traversal_stats published_;

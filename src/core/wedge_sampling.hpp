@@ -49,6 +49,9 @@ struct wedge_visitor {
   }
 
   bool operator<(const wedge_visitor&) const { return false; }
+
+  /// Constant priority: one dial bucket, ordered purely by the tie-key.
+  [[nodiscard]] std::uint64_t priority_key() const noexcept { return 0; }
 };
 
 struct wedge_sample_result {

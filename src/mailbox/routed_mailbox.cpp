@@ -1,5 +1,6 @@
 #include "mailbox/routed_mailbox.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -14,125 +15,131 @@ routed_mailbox::routed_mailbox(runtime::comm& c, config cfg)
       router_(cfg.topo, c.size()),
       channels_(static_cast<std::size_t>(c.size())),
       next_packet_seq_(static_cast<std::size_t>(c.size()), 0),
-      seen_packet_seq_(static_cast<std::size_t>(c.size())) {}
-
-void routed_mailbox::send(int final_dest, std::span<const std::byte> record) {
-  ++stats_.records_sent;
-  route_record(static_cast<std::uint32_t>(comm_->rank()), final_dest, record);
+      seen_packet_seq_(static_cast<std::size_t>(c.size())) {
+  assert(c.size() <= 0xffff);  // record_header packs ranks into 16 bits
+  if (cfg_.min_aggregation_bytes > cfg_.aggregation_bytes) {
+    cfg_.min_aggregation_bytes = cfg_.aggregation_bytes;
+  }
+  for (auto& ch : channels_) {
+    ch.watermark = cfg_.aggregation_bytes;
+    ch.reserve_hint = cfg_.min_aggregation_bytes;
+  }
 }
 
-void routed_mailbox::route_record(std::uint32_t origin, int final_dest,
-                                  std::span<const std::byte> record) {
-  assert(final_dest >= 0 && final_dest < comm_->size());
-  if (final_dest == comm_->rank()) {
-    local_pending_.push_back(
-        {origin, std::vector<std::byte>(record.begin(), record.end())});
-    return;
-  }
-  const int hop = router_.next_hop(comm_->rank(), final_dest);
-  auto& buf = channels_[static_cast<std::size_t>(hop)];
-  if (buf.empty()) {
-    // Reserve room for the packet header; the sequence number is stamped
-    // at flush time so buffers never carry a stale one.
-    buf.resize(sizeof(packet_header));
-  }
-  const record_header hdr{static_cast<std::uint32_t>(final_dest), origin,
-                          static_cast<std::uint32_t>(record.size())};
-  const auto* hdr_bytes = reinterpret_cast<const std::byte*>(&hdr);
-  buf.insert(buf.end(), hdr_bytes, hdr_bytes + sizeof(hdr));
-  buf.insert(buf.end(), record.begin(), record.end());
-  if (buf.size() >= cfg_.aggregation_bytes) flush_channel(hop);
-}
-
-void routed_mailbox::flush_channel(int next_hop) {
-  auto& buf = channels_[static_cast<std::size_t>(next_hop)];
-  if (buf.empty()) return;
+void routed_mailbox::flush_channel(int next_hop, flush_reason why) {
+  auto& ch = channels_[static_cast<std::size_t>(next_hop)];
+  if (ch.buf.empty()) return;
   obs::trace_span span("mailbox.flush", "mailbox");
-  span.set_arg("bytes", static_cast<double>(buf.size()));
+  span.set_arg("bytes", static_cast<double>(ch.buf.size()));
   const packet_header ph{next_packet_seq_[static_cast<std::size_t>(next_hop)]++};
-  std::memcpy(buf.data(), &ph, sizeof(ph));
-  comm_->send(next_hop, cfg_.tag, buf);
+  std::memcpy(ch.buf.data(), &ph, sizeof(ph));
   ++stats_.packets_sent;
-  stats_.packet_bytes_sent += buf.size();
+  stats_.packet_bytes_sent += ch.buf.size();
+  const std::size_t sent_bytes = ch.buf.size();
+  // Adapt the watermark: filling up means traffic can sustain bigger
+  // packets; aging out means it cannot — shrink so records stop waiting.
+  switch (why) {
+    case flush_reason::size:
+      ++stats_.flushes_by_size;
+      ch.watermark = std::min(cfg_.aggregation_bytes, ch.watermark * 2);
+      break;
+    case flush_reason::age:
+      ++stats_.flushes_by_age;
+      ch.watermark = std::max(cfg_.min_aggregation_bytes, ch.watermark / 2);
+      break;
+    case flush_reason::manual:
+      break;
+  }
+  ch.reserve_hint =
+      std::min(sent_bytes * 2, cfg_.aggregation_bytes + sent_bytes);
+  // The arena becomes the packet payload wholesale; a moved-from vector is
+  // empty, so the channel is ready for its next open.
+  comm_->send(next_hop, cfg_.tag, std::move(ch.buf));
+  ch.buf.clear();
+  --dirty_count_;
   if (obs::metrics_on()) {
     auto& reg = obs::metrics_registry::instance();
     reg.get_counter("mailbox.packets_sent").add_raw(1);
-    reg.get_counter("mailbox.packet_bytes_sent").add_raw(buf.size());
+    reg.get_counter("mailbox.packet_bytes_sent").add_raw(sent_bytes);
+    if (why == flush_reason::age) {
+      reg.get_counter("mailbox.flushes_by_age").add_raw(1);
+    } else if (why == flush_reason::size) {
+      reg.get_counter("mailbox.flushes_by_size").add_raw(1);
+    }
   }
-  buf.clear();
+}
+
+void routed_mailbox::tick() {
+  ++tick_now_;
+  if (dirty_count_ == 0) {
+    dirty_hops_.clear();
+    return;
+  }
+  if (cfg_.max_age_ticks == 0) return;
+  // Compact dirty_hops_ while scanning: drop entries whose channel was
+  // flushed (by size or manually) since they were recorded.
+  std::size_t keep = 0;
+  for (const int hop : dirty_hops_) {
+    auto& ch = channels_[static_cast<std::size_t>(hop)];
+    if (ch.buf.empty()) continue;
+    if (tick_now_ - ch.opened_tick >= cfg_.max_age_ticks) {
+      flush_channel(hop, flush_reason::age);
+      continue;
+    }
+    dirty_hops_[keep++] = hop;
+  }
+  dirty_hops_.resize(keep);
 }
 
 void routed_mailbox::flush() {
-  for (int r = 0; r < comm_->size(); ++r) flush_channel(r);
+  for (const int hop : dirty_hops_) flush_channel(hop, flush_reason::manual);
+  dirty_hops_.clear();
+  assert(dirty_count_ == 0);
 }
 
 bool routed_mailbox::idle() const {
-  if (!local_pending_.empty()) return false;
-  for (const auto& buf : channels_) {
-    if (!buf.empty()) return false;
+  return local_arena_.empty() && local_scratch_.empty() && dirty_count_ == 0;
+}
+
+bool routed_mailbox::validate_packet(std::span<const std::byte> payload) const {
+  const std::byte* data = payload.data();
+  const std::size_t total = payload.size();
+  const auto num_ranks = static_cast<std::uint32_t>(comm_->size());
+  std::size_t off = sizeof(packet_header);
+  while (off < total) {
+    if (total - off < sizeof(record_header)) return false;
+    record_header hdr;
+    std::memcpy(&hdr, data + off, sizeof(hdr));
+    off += sizeof(hdr);
+    if (hdr.size > total - off) return false;
+    if (hdr.final_dest >= num_ranks) return false;
+    off += hdr.size;
   }
   return true;
 }
 
-std::size_t routed_mailbox::drain_local(const delivery_handler& deliver) {
-  // Records may re-enter local_pending_ from inside the handler (a visitor
-  // visiting a local vertex can push more visitors to this same rank), so
-  // swap out the batch first.
-  std::size_t delivered = 0;
-  while (!local_pending_.empty()) {
-    std::vector<local_record> batch;
-    batch.swap(local_pending_);
-    for (const auto& rec : batch) {
-      ++stats_.records_delivered;
-      ++delivered;
-      deliver(static_cast<int>(rec.origin), rec.bytes);
-    }
+void routed_mailbox::note_rejected_packet() {
+  // Structurally corrupt: the whole packet is rejected *without* consuming
+  // its sequence number, so an intact retransmission still delivers.
+  ++stats_.packets_rejected;
+  if (obs::metrics_on()) {
+    obs::metrics_registry::instance()
+        .get_counter("mailbox.packets_rejected")
+        .add_raw(1);
   }
-  return delivered;
 }
 
-std::size_t routed_mailbox::process_packet(const runtime::message& m,
-                                           const delivery_handler& deliver) {
-  assert(m.tag == cfg_.tag);
-  assert(m.payload.size() >= sizeof(packet_header));
-  packet_header ph;
-  std::memcpy(&ph, m.payload.data(), sizeof(ph));
-  auto& seen = seen_packet_seq_[static_cast<std::size_t>(m.source)];
-  if (!seen.insert(ph.seq).second) {
-    // Transport replay (fault layer): this packet was already consumed;
-    // replaying it would double-deliver every record inside.
-    ++stats_.packets_dropped_duplicate;
-    obs::trace_instant("mailbox.dup_drop", "mailbox", "seq",
-                       static_cast<double>(ph.seq));
-    if (obs::metrics_on()) {
-      obs::metrics_registry::instance()
-          .get_counter("mailbox.packets_dropped_duplicate")
-          .add_raw(1);
-    }
-    return 0;
+void routed_mailbox::note_duplicate_packet(std::uint64_t seq) {
+  // Transport replay (fault layer): this packet was already consumed;
+  // replaying it would double-deliver every record inside.
+  ++stats_.packets_dropped_duplicate;
+  obs::trace_instant("mailbox.dup_drop", "mailbox", "seq",
+                     static_cast<double>(seq));
+  if (obs::metrics_on()) {
+    obs::metrics_registry::instance()
+        .get_counter("mailbox.packets_dropped_duplicate")
+        .add_raw(1);
   }
-  std::size_t delivered = 0;
-  std::size_t off = sizeof(packet_header);
-  const std::byte* data = m.payload.data();
-  const std::size_t total = m.payload.size();
-  while (off < total) {
-    record_header hdr;
-    assert(off + sizeof(hdr) <= total);
-    std::memcpy(&hdr, data + off, sizeof(hdr));
-    off += sizeof(hdr);
-    assert(off + hdr.size <= total);
-    const std::span<const std::byte> record(data + off, hdr.size);
-    off += hdr.size;
-    if (static_cast<int>(hdr.final_dest) == comm_->rank()) {
-      ++stats_.records_delivered;
-      ++delivered;
-      deliver(static_cast<int>(hdr.origin), record);
-    } else {
-      ++stats_.records_forwarded;
-      route_record(hdr.origin, static_cast<int>(hdr.final_dest), record);
-    }
-  }
-  return delivered;
 }
 
 }  // namespace sfg::mailbox

@@ -11,20 +11,39 @@
 /// mirrors how the paper multiplexes visitor traffic and termination-
 /// detection control traffic over one transport.
 ///
+/// Hot-path layout (DESIGN.md §8): every channel is one flat, pre-reserved
+/// byte arena — records are framed with a compact 8-byte header and
+/// appended in place; flush stamps the packet header and *moves* the whole
+/// arena into the transport (comm's rvalue send), so a record is copied
+/// exactly once between the caller and the wire.  Self-sends land in a
+/// flat local arena drained with span views — no per-record allocation
+/// anywhere.
+///
 /// Every packet opens with a per-(sender, receiver) sequence number, and
-/// process_packet() drops packets whose sequence it has already seen.
-/// This gives the mailbox exactly-once record semantics over an
-/// at-least-once transport — required for the fault-injection layer
-/// (runtime/fault.hpp), which may duplicate messages in flight, and for
-/// the exact-count algorithms (k-core) that cannot tolerate replays.
+/// process_packet() drops packets whose sequence it has already seen
+/// (exact O(1) sliding-window dedup, see seq_window.hpp).  This gives the
+/// mailbox exactly-once record semantics over an at-least-once transport —
+/// required for the fault-injection layer (runtime/fault.hpp), which may
+/// duplicate messages in flight, and for the exact-count algorithms
+/// (k-core) that cannot tolerate replays.
+///
+/// Flushing is adaptive: a channel flushes when it reaches its effective
+/// size watermark, or when tick() finds it older than `max_age_ticks`.
+/// Age flushes halve the channel's effective watermark (traffic is too
+/// sparse to fill big packets — stop sitting on records); size flushes
+/// grow it back toward `aggregation_bytes`.  Both kinds are counted in
+/// the stats and the obs metrics registry.
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <span>
-#include <unordered_set>
 #include <vector>
 
+#include "mailbox/seq_window.hpp"
 #include "mailbox/topology.hpp"
 #include "obs/stats_fields.hpp"
 #include "runtime/comm.hpp"
@@ -35,31 +54,54 @@ class routed_mailbox {
  public:
   struct config {
     topology topo = topology::direct;
-    /// Flush a channel once its buffered payload reaches this size.
+    /// Flush a channel once its buffered payload reaches this size (the
+    /// ceiling of the adaptive watermark).
     std::size_t aggregation_bytes = 1 << 13;
     /// Tag used for this mailbox's packets on the underlying comm.
     int tag = 0;
+    /// tick() force-flushes a channel whose oldest record has waited this
+    /// many ticks (one tick per owner poll iteration).  0 disables.
+    std::uint32_t max_age_ticks = 64;
+    /// Floor of the adaptive size watermark (age flushes halve it down to
+    /// this; size flushes double it back up to aggregation_bytes).
+    std::size_t min_aggregation_bytes = 1 << 9;
   };
 
-  /// Called once per delivered record: (origin_rank, record_bytes).
+  /// Delivery callbacks are called once per delivered record:
+  /// (origin_rank, record_bytes).  The span aliases the mailbox's internal
+  /// arena / the packet payload and is only valid for the duration of the
+  /// call.  process_packet/drain_local are templated on the callable so a
+  /// caller's lambda inlines into the record walk — an std::function here
+  /// costs an indirect call per record on the hottest path in the system.
+  /// This alias remains for callers that want to store a type-erased one.
   using delivery_handler =
       std::function<void(int origin, std::span<const std::byte>)>;
 
   routed_mailbox(runtime::comm& c, config cfg);
 
   /// Queue one record for delivery to `final_dest` (may be this rank).
-  /// Buffered until the channel fills or flush() is called.
+  /// Buffered until the channel fills or flush()/tick() pushes it out.
+  /// Defined inline below: visitors send fixed-size records, and inlining
+  /// lets the record size constant-fold so the framing memcpys compile to
+  /// straight stores.
   void send(int final_dest, std::span<const std::byte> record);
 
   /// Feed one packet received from the comm (message.tag must equal
   /// config::tag).  Records addressed to this rank are handed to `deliver`;
   /// records in transit are re-buffered toward their next hop.  Returns
-  /// the number of records delivered locally.
-  std::size_t process_packet(const runtime::message& m,
-                             const delivery_handler& deliver);
+  /// the number of records delivered locally.  Structurally invalid
+  /// (truncated / corrupt) packets are rejected whole, *before* their
+  /// sequence number is consumed, so a retransmit can still succeed.
+  template <typename F>
+  std::size_t process_packet(const runtime::message& m, F&& deliver);
 
   /// Deliver records this rank sent to itself.  Returns count delivered.
-  std::size_t drain_local(const delivery_handler& deliver);
+  template <typename F>
+  std::size_t drain_local(F&& deliver);
+
+  /// Advance the age clock: call once per owner poll iteration.  Channels
+  /// older than cfg.max_age_ticks are flushed and their watermark adapts.
+  void tick();
 
   /// Push out every non-empty channel buffer.  Must be called when the
   /// owner goes idle, or in-transit records would sit in aggregation
@@ -80,6 +122,9 @@ class routed_mailbox {
     std::uint64_t packets_sent = 0;       ///< aggregated packets emitted
     std::uint64_t packet_bytes_sent = 0;
     std::uint64_t packets_dropped_duplicate = 0;  ///< transport replays dropped
+    std::uint64_t packets_rejected = 0;  ///< structurally invalid packets
+    std::uint64_t flushes_by_size = 0;   ///< watermark-triggered flushes
+    std::uint64_t flushes_by_age = 0;    ///< tick-age-triggered flushes
   };
   [[nodiscard]] const mailbox_stats& stats() const noexcept { return stats_; }
   void reset_stats() { stats_ = mailbox_stats{}; }
@@ -91,38 +136,180 @@ class routed_mailbox {
     std::uint64_t seq;
   };
 
+  /// Compact per-record framing: ranks fit 16 bits by construction
+  /// (vertex_locator reserves exactly 16 owner bits), so the header is 8
+  /// bytes instead of the 12 a naive int triple would take.
   struct record_header {
-    std::uint32_t final_dest;
-    std::uint32_t origin;
+    std::uint16_t final_dest;
+    std::uint16_t origin;
     std::uint32_t size;
   };
+  static_assert(sizeof(record_header) == 8);
 
-  /// Append a record to the buffer for its next hop (or local queue).
-  void route_record(std::uint32_t origin, int final_dest,
+  enum class flush_reason { size, age, manual };
+
+  /// One next-hop aggregation arena plus its adaptive flush state.
+  struct channel {
+    std::vector<std::byte> buf;
+    std::uint64_t opened_tick = 0;    ///< tick() count when buf went non-empty
+    std::size_t watermark = 0;        ///< current effective flush size
+    /// Bytes to pre-reserve on open.  Flushing *moves* the arena into the
+    /// transport (capacity leaves with it), so each open must allocate;
+    /// tracking ~2x the last packet's size keeps that to one right-sized
+    /// malloc instead of reserving the whole watermark for a packet that
+    /// may carry a handful of records.
+    std::size_t reserve_hint = 0;
+  };
+
+  /// Append a record to the buffer for its next hop (or local arena).
+  void route_record(std::uint16_t origin, int final_dest,
                     std::span<const std::byte> record);
-  void flush_channel(int next_hop);
+  void flush_channel(int next_hop, flush_reason why);
+
+  /// Walk a packet payload checking that every record fits; true iff the
+  /// packet is structurally sound end to end.
+  [[nodiscard]] bool validate_packet(std::span<const std::byte> payload) const;
+
+  /// Cold paths of process_packet, kept out of the template body: stats +
+  /// trace + metrics for rejected / replayed packets.
+  void note_rejected_packet();
+  void note_duplicate_packet(std::uint64_t seq);
 
   runtime::comm* comm_;
   config cfg_;
   router router_;
-  /// Aggregation buffer per next-hop rank (indexed by rank id; only the
+  /// Aggregation arena per next-hop rank (indexed by rank id; only the
   /// O(sqrt p) legal next hops are ever non-empty).
-  std::vector<std::vector<std::byte>> channels_;
-  struct local_record {
-    std::uint32_t origin;
-    std::vector<std::byte> bytes;
-  };
-  std::vector<local_record> local_pending_;
+  std::vector<channel> channels_;
+  /// Hops with a non-empty arena (may hold stale entries; compacted by
+  /// tick/flush).  Bounded by the legal-next-hop count.
+  std::vector<int> dirty_hops_;
+  std::size_t dirty_count_ = 0;  ///< exact count of non-empty channels
+  std::uint64_t tick_now_ = 0;
+  /// Self-sends: flat arena of (record_header, payload) frames.  Drained
+  /// double-buffered so handlers can send to self mid-drain.
+  std::vector<std::byte> local_arena_;
+  std::vector<std::byte> local_scratch_;
+  bool draining_local_ = false;
   /// Next packet sequence number toward each next hop; a (sender, hop)
   /// pair is a unique channel, so a per-hop counter gives receiver-unique
   /// packet ids.
   std::vector<std::uint64_t> next_packet_seq_;
-  /// Packet sequence numbers already consumed, per source rank.  Unbounded
-  /// by design: the transport may reorder arbitrarily, so no watermark is
-  /// safe, and 8 bytes per packet is noise next to the records themselves.
-  std::vector<std::unordered_set<std::uint64_t>> seen_packet_seq_;
+  /// Exact sliding-window dedup of consumed packet sequences, per source.
+  std::vector<seq_window> seen_packet_seq_;
   mailbox_stats stats_;
 };
+
+inline void routed_mailbox::send(int final_dest,
+                                 std::span<const std::byte> record) {
+  ++stats_.records_sent;
+  route_record(static_cast<std::uint16_t>(comm_->rank()), final_dest, record);
+}
+
+inline void routed_mailbox::route_record(std::uint16_t origin, int final_dest,
+                                         std::span<const std::byte> record) {
+  assert(final_dest >= 0 && final_dest < comm_->size());
+  assert(record.size() <= 0xffffffffu);
+  const record_header hdr{static_cast<std::uint16_t>(final_dest), origin,
+                          static_cast<std::uint32_t>(record.size())};
+  const auto* hdr_bytes = reinterpret_cast<const std::byte*>(&hdr);
+  if (final_dest == comm_->rank()) {
+    // Self-sends go to the flat local arena, framed exactly like a packet
+    // record; drain_local hands out span views into it (no per-record
+    // allocation, see the zero-alloc test).
+    auto& arena = draining_local_ ? local_scratch_ : local_arena_;
+    arena.insert(arena.end(), hdr_bytes, hdr_bytes + sizeof(hdr));
+    arena.insert(arena.end(), record.begin(), record.end());
+    return;
+  }
+  const int hop = router_.next_hop(comm_->rank(), final_dest);
+  auto& ch = channels_[static_cast<std::size_t>(hop)];
+  if (ch.buf.empty()) {
+    // Size the fresh arena from the last packet, not the watermark: a
+    // sparse channel would pay a watermark-sized malloc for a tiny packet.
+    // The sequence number is stamped at flush time so buffers never carry
+    // a stale one.
+    ch.buf.reserve(std::max(
+        ch.reserve_hint,
+        sizeof(packet_header) + sizeof(record_header) + record.size()));
+    ch.buf.resize(sizeof(packet_header));
+    ch.opened_tick = tick_now_;
+    dirty_hops_.push_back(hop);
+    ++dirty_count_;
+  }
+  ch.buf.insert(ch.buf.end(), hdr_bytes, hdr_bytes + sizeof(hdr));
+  ch.buf.insert(ch.buf.end(), record.begin(), record.end());
+  if (ch.buf.size() >= ch.watermark) flush_channel(hop, flush_reason::size);
+}
+
+template <typename F>
+std::size_t routed_mailbox::process_packet(const runtime::message& m,
+                                           F&& deliver) {
+  assert(m.tag == cfg_.tag);
+  if (m.payload.size() < sizeof(packet_header) || !validate_packet(m.payload)) {
+    note_rejected_packet();
+    return 0;
+  }
+  packet_header ph;
+  std::memcpy(&ph, m.payload.data(), sizeof(ph));
+  if (!seen_packet_seq_[static_cast<std::size_t>(m.source)].first_time(ph.seq)) {
+    note_duplicate_packet(ph.seq);
+    return 0;
+  }
+  std::size_t delivered = 0;
+  std::size_t off = sizeof(packet_header);
+  const std::byte* data = m.payload.data();
+  const std::size_t total = m.payload.size();
+  const int self = comm_->rank();
+  while (off < total) {
+    record_header hdr;
+    std::memcpy(&hdr, data + off, sizeof(hdr));
+    off += sizeof(hdr);
+    const std::span<const std::byte> record(data + off, hdr.size);
+    off += hdr.size;
+    if (static_cast<int>(hdr.final_dest) == self) {
+      ++stats_.records_delivered;
+      ++delivered;
+      deliver(static_cast<int>(hdr.origin), record);
+    } else {
+      ++stats_.records_forwarded;
+      route_record(hdr.origin, static_cast<int>(hdr.final_dest), record);
+    }
+  }
+  return delivered;
+}
+
+template <typename F>
+std::size_t routed_mailbox::drain_local(F&& deliver) {
+  // Handlers can send to this same rank mid-drain (a visitor visiting a
+  // local vertex pushes more visitors here); those land in local_scratch_
+  // while we walk the frozen arena, then the buffers swap for the next
+  // round.  Re-entrant drain calls (deliver -> drain_local) are no-ops.
+  if (draining_local_) return 0;
+  draining_local_ = true;
+  std::size_t delivered = 0;
+  while (!local_arena_.empty()) {
+    const std::byte* data = local_arena_.data();
+    const std::size_t total = local_arena_.size();
+    std::size_t off = 0;
+    while (off < total) {
+      record_header hdr;
+      assert(off + sizeof(hdr) <= total);
+      std::memcpy(&hdr, data + off, sizeof(hdr));
+      off += sizeof(hdr);
+      assert(off + hdr.size <= total);
+      ++stats_.records_delivered;
+      ++delivered;
+      deliver(static_cast<int>(hdr.origin),
+              std::span<const std::byte>(data + off, hdr.size));
+      off += hdr.size;
+    }
+    local_arena_.clear();
+    std::swap(local_arena_, local_scratch_);
+  }
+  draining_local_ = false;
+  return delivered;
+}
 
 }  // namespace sfg::mailbox
 
@@ -137,5 +324,8 @@ struct sfg::obs::stats_traits<sfg::mailbox::routed_mailbox::mailbox_stats> {
       stats_field{"records_forwarded", &S::records_forwarded},
       stats_field{"packets_sent", &S::packets_sent},
       stats_field{"packet_bytes_sent", &S::packet_bytes_sent},
-      stats_field{"packets_dropped_duplicate", &S::packets_dropped_duplicate});
+      stats_field{"packets_dropped_duplicate", &S::packets_dropped_duplicate},
+      stats_field{"packets_rejected", &S::packets_rejected},
+      stats_field{"flushes_by_size", &S::flushes_by_size},
+      stats_field{"flushes_by_age", &S::flushes_by_age});
 };

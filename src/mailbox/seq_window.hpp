@@ -1,0 +1,94 @@
+/// \file seq_window.hpp
+/// Exact packet-sequence deduplication in O(1) amortized time and O(1)
+/// steady-state memory, replacing the per-source unordered_set of every
+/// sequence number ever seen.
+///
+/// Exactness is mandatory: the mailbox sits under tree termination
+/// detection, which counts records_sent vs records_delivered.  A falsely
+/// dropped packet loses its records forever and the traversal livelocks;
+/// a falsely accepted duplicate double-delivers and breaks exact-count
+/// algorithms (k-core).  So this is not a heuristic watermark: it is an
+/// exact set-membership structure that exploits how sequence numbers are
+/// generated (consecutive per channel, reordered only within a bounded
+/// horizon by the fault layer).
+///
+/// Layout: a kBits-wide bitmap ring covers [base_, base_ + kBits).  When
+/// a sequence beyond the window arrives, the window slides forward; any
+/// slid-out sequence that was never seen becomes a *hole*, remembered
+/// individually in a hash set.  Sequences below the window consult (and
+/// consume) the holes.  In the steady state the holes set is empty and
+/// every test is one bit probe; each sequence number is slid over at most
+/// once, so the per-packet cost is O(1) amortized.
+///
+/// The structure is exact for arbitrary inputs; only its *speed* relies
+/// on the generator being well-behaved (a hostile 2^60 jump would make
+/// the slide enumerate every skipped sequence).  The in-process transport
+/// only carries sequences our own mailboxes stamp, so that is fine.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_set>
+
+namespace sfg::mailbox {
+
+class seq_window {
+ public:
+  /// True exactly once per distinct sequence value, in any arrival order.
+  bool first_time(std::uint64_t seq) {
+    if (seq < base_) return holes_.erase(seq) > 0;
+    if (seq - base_ >= kBits) slide(seq - (kBits - 1));
+    return !test_and_set(seq);
+  }
+
+  /// Unseen sequences that have slid out of the window (introspection —
+  /// zero in the steady state).
+  [[nodiscard]] std::size_t holes() const noexcept { return holes_.size(); }
+
+  /// Lowest sequence still tracked by the bitmap (introspection).
+  [[nodiscard]] std::uint64_t window_base() const noexcept { return base_; }
+
+ private:
+  static constexpr std::uint64_t kBits = 4096;
+  static constexpr std::size_t kWords = kBits / 64;
+
+  [[nodiscard]] bool test_and_set(std::uint64_t seq) noexcept {
+    const std::uint64_t bit = seq % kBits;
+    std::uint64_t& w = bits_[bit / 64];
+    const std::uint64_t mask = std::uint64_t{1} << (bit % 64);
+    const bool was = (w & mask) != 0;
+    w |= mask;
+    return was;
+  }
+
+  void clear_bit(std::uint64_t seq) noexcept {
+    const std::uint64_t bit = seq % kBits;
+    bits_[bit / 64] &= ~(std::uint64_t{1} << (bit % 64));
+  }
+
+  [[nodiscard]] bool test_bit(std::uint64_t seq) const noexcept {
+    const std::uint64_t bit = seq % kBits;
+    return (bits_[bit / 64] & (std::uint64_t{1} << (bit % 64))) != 0;
+  }
+
+  /// Advance the window to [new_base, new_base + kBits), recording every
+  /// slid-out unseen sequence as a hole.
+  void slide(std::uint64_t new_base) {
+    // Sequences inside the old window: consult and clear their bits.
+    const std::uint64_t bitmap_end =
+        new_base - base_ < kBits ? new_base : base_ + kBits;
+    for (std::uint64_t s = base_; s < bitmap_end; ++s) {
+      if (!test_bit(s)) holes_.insert(s);
+      clear_bit(s);
+    }
+    // Sequences past the old window (big jump): all unseen by definition.
+    for (std::uint64_t s = bitmap_end; s < new_base; ++s) holes_.insert(s);
+    base_ = new_base;
+  }
+
+  std::uint64_t base_ = 0;
+  std::array<std::uint64_t, kWords> bits_{};
+  std::unordered_set<std::uint64_t> holes_;
+};
+
+}  // namespace sfg::mailbox

@@ -47,18 +47,31 @@ comm::comm(world& w, int rank)
       fault_stream_(w.faults_.seed, static_cast<std::uint64_t>(rank)) {}
 
 void comm::send(int dest, int tag, std::span<const std::byte> data) {
+  message m;
+  m.source = rank_;
+  m.tag = tag;
+  m.payload.assign(data.begin(), data.end());
+  post(dest, std::move(m));
+}
+
+void comm::send(int dest, int tag, std::vector<std::byte>&& data) {
+  message m;
+  m.source = rank_;
+  m.tag = tag;
+  m.payload = std::move(data);
+  post(dest, std::move(m));
+}
+
+void comm::post(int dest, message m) {
   assert(dest >= 0 && dest < size());
+  const std::size_t bytes = m.payload.size();
   if (world_->net_.enabled()) {
     // Charge the sender the modeled injection cost; sleeping lets other
     // rank threads progress, like DMA overlapping computation.
     std::this_thread::sleep_for(world_->net_.per_message +
                                 world_->net_.per_byte *
-                                    static_cast<std::int64_t>(data.size()));
+                                    static_cast<std::int64_t>(bytes));
   }
-  message m;
-  m.source = rank_;
-  m.tag = tag;
-  m.payload.assign(data.begin(), data.end());
   if (world_->faults_on_) {
     fault_send(dest, std::move(m));
   } else {
@@ -67,10 +80,10 @@ void comm::send(int dest, int tag, std::span<const std::byte> data) {
     ep.inbox.push_back(std::move(m));
   }
   ++stats_.messages_sent;
-  stats_.bytes_sent += data.size();
+  stats_.bytes_sent += bytes;
   ++sent_per_dest_[static_cast<std::size_t>(dest)];
   m_messages_sent_.add(1);
-  m_bytes_sent_.add(data.size());
+  m_bytes_sent_.add(bytes);
 }
 
 void comm::fault_send(int dest, message m) {

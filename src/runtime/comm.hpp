@@ -122,6 +122,11 @@ class comm {
   /// Post bytes to `dest`'s inbox.  Never blocks.  FIFO per (source, dest).
   void send(int dest, int tag, std::span<const std::byte> data);
 
+  /// Zero-copy variant: the buffer becomes the message payload directly
+  /// (no per-packet copy).  Used by the mailbox to ship whole aggregation
+  /// arenas.
+  void send(int dest, int tag, std::vector<std::byte>&& data);
+
   /// Convenience: send one trivially copyable value.
   template <typename T>
   void send_value(int dest, int tag, const T& v) {
@@ -237,6 +242,10 @@ class comm {
  private:
   /// Publish this rank's collective contribution and wait for all.
   void publish(const void* data, std::size_t bytes);
+
+  /// Shared tail of both send() overloads: charge the net model, apply
+  /// faults or enqueue directly, update traffic stats.
+  void post(int dest, message m);
 
   /// Slow path of send(): apply stall / duplicate / delay / reorder fault
   /// decisions and enqueue the message copies at `dest`.

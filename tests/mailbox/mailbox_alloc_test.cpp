@@ -1,0 +1,122 @@
+/// Zero-per-record-allocation tests for the mailbox hot path (DESIGN.md
+/// §8).  The overhaul's central memory claim: once arenas are warm,
+///
+///   - self-send + drain_local performs NO heap allocation per record —
+///     records append into a flat arena and are delivered as span views;
+///   - the remote path allocates per *packet* (one arena re-reserve after
+///     each move-flush, plus transport bookkeeping), never per record.
+///
+/// This TU replaces global operator new/delete with counting versions so
+/// the claim is testable (pattern from tests/obs/metrics_test.cpp).  The
+/// replacement is linked into the whole test binary, which is fine: it
+/// only counts, behavior is unchanged.
+#include "mailbox/routed_mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <span>
+
+#include "runtime/runtime.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace sfg::mailbox {
+namespace {
+
+struct record24 {
+  std::uint64_t a, b, c;
+};
+
+constexpr int kMailTag = 0;
+constexpr int kRecordsPerRound = 64;
+
+TEST(MailboxAlloc, LocalDrainSteadyStateAllocatesNothing) {
+  runtime::world w(1);
+  auto& c = w.rank_comm(0);
+  routed_mailbox mb(c, {topology::direct, 1 << 16, kMailTag});
+  record24 r{1, 2, 3};
+  std::uint64_t sink = 0;
+  auto round = [&] {
+    for (int i = 0; i < kRecordsPerRound; ++i) {
+      r.a = static_cast<std::uint64_t>(i);
+      mb.send(0, runtime::as_bytes_of(r));
+    }
+    mb.drain_local([&](int, std::span<const std::byte> bytes) {
+      sink += bytes.size();
+    });
+  };
+  // Warm-up: the first rounds grow local_arena_ (and, via the mid-drain
+  // swap, local_scratch_) to steady-state capacity.
+  for (int i = 0; i < 4; ++i) round();
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 256; ++i) round();
+  const std::uint64_t delta =
+      g_allocations.load(std::memory_order_relaxed) - before;
+
+  EXPECT_EQ(delta, 0u) << "self-send/drain hot path allocated on the heap";
+  EXPECT_EQ(sink, static_cast<std::uint64_t>(260) * kRecordsPerRound *
+                      sizeof(record24));
+}
+
+TEST(MailboxAlloc, RemotePathAllocatesPerPacketNotPerRecord) {
+  runtime::world w(2);
+  auto& c0 = w.rank_comm(0);
+  auto& c1 = w.rank_comm(1);
+  routed_mailbox m0(c0, {topology::direct, 1 << 16, kMailTag});
+  routed_mailbox m1(c1, {topology::direct, 1 << 16, kMailTag});
+  record24 r{1, 2, 3};
+  std::uint64_t sink = 0;
+  auto round = [&] {
+    for (int i = 0; i < kRecordsPerRound; ++i) {
+      r.a = static_cast<std::uint64_t>(i);
+      m0.send(1, runtime::as_bytes_of(r));
+    }
+    m0.flush();
+    runtime::message m;
+    while (c1.try_recv(m)) {
+      m1.process_packet(m, [&](int, std::span<const std::byte> bytes) {
+        sink += bytes.size();
+      });
+    }
+  };
+  // Warm-up: lets the channel's reserve_hint converge on the real packet
+  // size and the transport's inbox reach steady-state capacity.
+  for (int i = 0; i < 8; ++i) round();
+
+  constexpr int kRounds = 256;
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < kRounds; ++i) round();
+  const std::uint64_t delta =
+      g_allocations.load(std::memory_order_relaxed) - before;
+
+  // One packet per round.  Flushing moves the arena into the transport, so
+  // each round legitimately re-allocates the arena once, and the transport
+  // may allocate a constant amount of bookkeeping per message.  What must
+  // NOT happen is an allocation per record: with 64 records per packet, a
+  // per-record regression multiplies the budget ~16x.
+  const std::uint64_t budget = static_cast<std::uint64_t>(kRounds) * 8;
+  EXPECT_LE(delta, budget)
+      << "remote path allocation is scaling with records, not packets";
+  EXPECT_GT(sink, 0u);
+}
+
+}  // namespace
+}  // namespace sfg::mailbox
