@@ -25,6 +25,8 @@
 /// page-level locality of the CSR behind the page cache.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <thread>
 #include <type_traits>
@@ -32,10 +34,12 @@
 
 #include "core/local_queue.hpp"
 #include "mailbox/routed_mailbox.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/run_report.hpp"
 #include "obs/stats_fields.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_context.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/termination.hpp"
 #include "util/rng.hpp"
@@ -116,45 +120,89 @@ class visitor_queue {
 
   /// Paper Algorithm 1, PUSH: filter through a local ghost if present,
   /// else (or on ghost pass) send toward the master partition.
+  ///
+  /// Causal sampling (trace_context.hpp): 1-in-SFG_TRACE_SAMPLE pushes get
+  /// a trace_ctx that rides with the visitor's record through every
+  /// mailbox hop and replica forward; the flow opens here ('s') and closes
+  /// ('f') at exactly one downstream terminal — ghost suppression here,
+  /// pre_visit rejection, or acceptance at the end of the owner chain — so
+  /// Chrome/Perfetto draws the full cross-rank chain as one arrow path.
   void push(const Visitor& v) {
     ++stats_.visitors_pushed;
+    const obs::trace_ctx ctx =
+        obs::sample_trace_ctx(graph_->rank(), v.vertex.bits());
+    if (ctx != 0) {
+      obs::trace_flow_begin("visitor.push", obs::ctx_flow_id(ctx),
+                            "visitor_flow", "dest",
+                            static_cast<double>(v.vertex.owner()));
+    }
     if constexpr (Visitor::uses_ghosts) {
       if (cfg_.use_ghosts && graph_->has_local_ghost(v.vertex)) {
         Visitor copy = v;
         if (!copy.pre_visit(state_->ghost(graph_->ghost_slot(v.vertex)))) {
           ++stats_.ghost_filtered;
+          if (ctx != 0) {
+            obs::trace_flow_end("visitor.ghost_filtered", obs::ctx_flow_id(ctx));
+          }
           return;
         }
       }
     }
     ++stats_.visitors_sent;
-    mailbox_.send(v.vertex.owner(), runtime::as_bytes_of(v));
+    mailbox_.send(v.vertex.owner(), runtime::as_bytes_of(v), ctx);
   }
 
   /// Paper Algorithm 1, DO_TRAVERSAL: run to global quiescence.
   /// Collective: all ranks must call (after pushing initial visitors).
   void do_traversal() {
     obs::trace_span tspan("traversal", "core");
+    const auto wall_start = std::chrono::steady_clock::now();
     const mailbox::routed_mailbox::mailbox_stats mail_start = mailbox_.stats();
     runtime::tree_termination term(graph_->comm(), cfg_.control_tag);
     const bool chaos_on = cfg_.faults.enabled() && cfg_.faults.stall_prob > 0;
     util::chaos_stream chaos(cfg_.faults.seed,
                              0x51A11u ^ static_cast<std::uint64_t>(
                                             graph_->rank()));
-    auto deliver = [this](int /*origin*/, std::span<const std::byte> bytes) {
+    // Ctx-aware delivery: the third parameter is the sampled causal
+    // context carried by the record (0 for the unsampled majority).
+    auto deliver = [this](int /*origin*/, std::span<const std::byte> bytes,
+                          obs::trace_ctx ctx) {
       Visitor v;
       std::memcpy(&v, bytes.data(), sizeof(Visitor));
-      this->check_mailbox_visitor(v);
+      this->check_mailbox_visitor(v, ctx);
     };
 
     runtime::comm& c = graph_->comm();
+    obs::flight_record(obs::flight_kind::traversal_begin, ++traversal_ordinal_,
+                       static_cast<std::uint64_t>(c.size()));
+    // Live straggler gauges: this rank's queue depth, locally-known
+    // in-flight records and termination epoch, refreshed every poll
+    // iteration so the registry always shows who is dragging.  Handles are
+    // resolved once per traversal (registry lookup takes a mutex).
+    obs::gauge* depth_gauge = nullptr;
+    obs::gauge* inflight_gauge = nullptr;
+    obs::gauge* epoch_gauge = nullptr;
+    if (obs::metrics_on()) {
+      auto& reg = obs::metrics_registry::instance();
+      const std::string prefix =
+          "traversal.rank" + std::to_string(graph_->rank());
+      depth_gauge = &reg.get_gauge(prefix + ".queue_depth");
+      inflight_gauge = &reg.get_gauge(prefix + ".inflight_records");
+      epoch_gauge = &reg.get_gauge(prefix + ".term_epoch");
+    }
+    std::uint64_t max_depth = 0;
     for (;;) {
       // Injected rank stall: this rank sleeps mid-traversal while the
       // others keep running — the adversarial scheduling that quiescence
       // detection and replica forwarding must survive.
       if (chaos_on && chaos.decide(cfg_.faults.stall_prob)) {
-        std::this_thread::sleep_for(
-            chaos.duration_up_to(cfg_.faults.max_stall));
+        const auto stall = chaos.duration_up_to(cfg_.faults.max_stall);
+        obs::flight_record(
+            obs::flight_kind::fault_stall,
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(stall)
+                    .count()));
+        std::this_thread::sleep_for(stall);
       }
       // Receive: control messages feed the detector, data packets feed
       // the mailbox (which delivers local records and re-forwards
@@ -173,13 +221,30 @@ class visitor_queue {
       mailbox_.tick();
 
       // Execute a bounded batch of local visitors, best-first.
-      for (int i = 0; i < cfg_.batch_size && !local_queue_.empty(); ++i) {
+      int executed = 0;
+      for (; executed < cfg_.batch_size && !local_queue_.empty(); ++executed) {
         const Visitor v = local_queue_.top();
         local_queue_.pop();
         const auto slot = graph_->slot_of(v.vertex);
         assert(slot.has_value());  // only chain ranks ever enqueue locally
         ++stats_.visitors_executed;
         v.visit(*graph_, *slot, *state_, *this);
+      }
+      const std::uint64_t depth = local_queue_.size();
+      max_depth = std::max(max_depth, depth);
+      if (executed > 0) {
+        obs::flight_record(obs::flight_kind::queue_batch,
+                           static_cast<std::uint64_t>(executed), depth);
+      }
+      if (depth_gauge != nullptr) {
+        const auto& ms = mailbox_.stats();
+        depth_gauge->set(static_cast<double>(depth));
+        // Signed: a net-receiver rank delivers more than it sends, so the
+        // locally-known balance can legitimately go negative.
+        inflight_gauge->set(static_cast<double>(
+            static_cast<std::int64_t>(ms.records_sent) -
+            static_cast<std::int64_t>(ms.records_delivered)));
+        epoch_gauge->set(static_cast<double>(term.waves_completed()));
       }
 
       // Idle only once everything buffered has been pushed out.
@@ -196,6 +261,13 @@ class visitor_queue {
     stats_.termination_waves += term.waves_completed();
     obs::stats_add(stats_.mailbox,
                    obs::stats_delta(mailbox_.stats(), mail_start));
+    last_wall_us_ = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count());
+    last_max_depth_ = max_depth;
+    obs::flight_record(obs::flight_kind::traversal_end,
+                       stats_.visitors_executed, last_wall_us_);
     tspan.set_arg("executed", static_cast<double>(stats_.visitors_executed));
     publish_metrics();
     maybe_write_run_report(c);
@@ -231,6 +303,11 @@ class visitor_queue {
     if (!obs::metrics_on()) return;
     obs::stats_to_registry("traversal", obs::stats_delta(stats_, published_));
     published_ = stats_;
+    // Every rank contributes its wall time, so the registry histogram's
+    // p50/p90/p99 spread *is* the traversal's imbalance at a glance.
+    obs::metrics_registry::instance()
+        .get_histogram("traversal.rank_time_us")
+        .record_raw(last_wall_us_);
   }
 
   /// If a metrics report path is configured (SFG_METRICS or
@@ -244,6 +321,16 @@ class visitor_queue {
         0);
     if (want == 0) return;
     const std::vector<traversal_stats> all = c.all_gather(stats_);
+    // Straggler fold: each rank contributes its wall time / peak queue
+    // depth / wave count through the same collective path (all ranks must
+    // reach this all_gather before rank 0's early return below).
+    struct rank_timing {
+      std::uint64_t wall_us;
+      std::uint64_t max_queue_depth;
+      std::uint64_t executed;
+    };
+    const std::vector<rank_timing> timing = c.all_gather(
+        rank_timing{last_wall_us_, last_max_depth_, stats_.visitors_executed});
     if (c.rank() != 0) return;
     obs::json entry = obs::json::object();
     entry["ranks"] = static_cast<std::uint64_t>(all.size());
@@ -255,13 +342,55 @@ class visitor_queue {
     }
     entry["total"] = obs::stats_to_json(total);
     entry["per_rank"] = std::move(per_rank);
+    entry["straggler"] = straggler_summary(timing);
     obs::append_traversal_report(std::move(entry));
+  }
+
+  /// Per-traversal imbalance summary (DESIGN.md §9): max/median/min rank
+  /// wall time, the imbalance ratio, and which rank was slowest with
+  /// enough attribution (work executed, peak queue depth) to say why.
+  template <typename Timing>
+  static obs::json straggler_summary(const std::vector<Timing>& timing) {
+    std::vector<std::uint64_t> walls;
+    walls.reserve(timing.size());
+    for (const auto& t : timing) walls.push_back(t.wall_us);
+    std::vector<std::uint64_t> sorted = walls;
+    std::sort(sorted.begin(), sorted.end());
+    const std::uint64_t max_us = sorted.back();
+    const std::uint64_t min_us = sorted.front();
+    const std::uint64_t median_us = sorted[sorted.size() / 2];
+    const std::size_t slowest = static_cast<std::size_t>(
+        std::max_element(walls.begin(), walls.end()) - walls.begin());
+    obs::json s = obs::json::object();
+    s["max_rank_us"] = max_us;
+    s["median_rank_us"] = median_us;
+    s["min_rank_us"] = min_us;
+    s["imbalance"] = median_us == 0
+                         ? 1.0
+                         : static_cast<double>(max_us) /
+                               static_cast<double>(median_us);
+    s["slowest_rank"] = static_cast<std::uint64_t>(slowest);
+    obs::json attribution = obs::json::object();
+    attribution["wall_us"] = timing[slowest].wall_us;
+    attribution["max_queue_depth"] = timing[slowest].max_queue_depth;
+    attribution["executed"] = timing[slowest].executed;
+    s["slowest"] = std::move(attribution);
+    obs::json per_rank = obs::json::array();
+    for (const std::uint64_t w : walls) per_rank.push_back(w);
+    s["per_rank_wall_us"] = std::move(per_rank);
+    return s;
   }
 
   /// Paper Algorithm 1, CHECK_MAILBOX body for one arriving visitor:
   /// pre_visit the real state; on success queue locally and forward to
   /// the next replica in the vertex's owner chain.
-  void check_mailbox_visitor(Visitor v) {
+  ///
+  /// Flow bookkeeping for a sampled visitor (ctx != 0): the record chain
+  /// ends here with exactly one 'f' — pre_visit rejection, or acceptance
+  /// at the last rank of the owner chain.  An acceptance that forwards
+  /// emits a 't' and passes the (hop-bumped) ctx to the forwarded record,
+  /// keeping the chain linear: every sampled push terminates exactly once.
+  void check_mailbox_visitor(Visitor v, obs::trace_ctx ctx = 0) {
     ++stats_.visitors_delivered;
     const auto slot = graph_->slot_of(v.vertex);
     // A visitor can only arrive at ranks in the owner chain.
@@ -271,10 +400,24 @@ class visitor_queue {
       const int next = graph_->next_owner_after(v.vertex, graph_->rank());
       if (next >= 0) {
         ++stats_.visitors_sent;
-        mailbox_.send(next, runtime::as_bytes_of(v));
+        if (ctx != 0) {
+          ctx = obs::ctx_bump_hop(ctx);
+          obs::trace_flow_step("visitor.pre_visit", obs::ctx_flow_id(ctx),
+                               "visitor_flow", "next",
+                               static_cast<double>(next));
+        }
+        mailbox_.send(next, runtime::as_bytes_of(v), ctx);
+      } else if (ctx != 0) {
+        obs::trace_flow_end("visitor.queued", obs::ctx_flow_id(ctx),
+                            "visitor_flow", "hops",
+                            static_cast<double>(obs::ctx_hops(ctx)));
       }
     } else {
       ++stats_.pre_visit_rejected;
+      if (ctx != 0) {
+        obs::trace_flow_end("visitor.pre_visit_rejected",
+                            obs::ctx_flow_id(ctx));
+      }
     }
   }
 
@@ -288,6 +431,11 @@ class visitor_queue {
   traversal_stats stats_;
   /// What publish_metrics() last folded into the registry.
   traversal_stats published_;
+  /// Straggler inputs from the most recent do_traversal (fed to the run
+  /// report's collective fold and the registry rank-time histogram).
+  std::uint64_t last_wall_us_ = 0;
+  std::uint64_t last_max_depth_ = 0;
+  std::uint64_t traversal_ordinal_ = 0;
 };
 
 }  // namespace sfg::core

@@ -57,10 +57,13 @@ void routed_mailbox::flush_channel(int next_hop, flush_reason why) {
   comm_->send(next_hop, cfg_.tag, std::move(ch.buf));
   ch.buf.clear();
   --dirty_count_;
+  obs::flight_record(obs::flight_kind::mbox_flush, sent_bytes,
+                     static_cast<std::uint64_t>(next_hop));
   if (obs::metrics_on()) {
     auto& reg = obs::metrics_registry::instance();
     reg.get_counter("mailbox.packets_sent").add_raw(1);
     reg.get_counter("mailbox.packet_bytes_sent").add_raw(sent_bytes);
+    reg.get_histogram("mailbox.packet_bytes").record_raw(sent_bytes);
     if (why == flush_reason::age) {
       reg.get_counter("mailbox.flushes_by_age").add_raw(1);
     } else if (why == flush_reason::size) {
@@ -111,17 +114,25 @@ bool routed_mailbox::validate_packet(std::span<const std::byte> payload) const {
     record_header hdr;
     std::memcpy(&hdr, data + off, sizeof(hdr));
     off += sizeof(hdr);
-    if (hdr.size > total - off) return false;
+    if ((hdr.size & kCtxFlag) != 0) {
+      // Sampled record: an 8-byte trace_ctx precedes the payload.
+      if (total - off < sizeof(obs::trace_ctx)) return false;
+      off += sizeof(obs::trace_ctx);
+    }
+    const std::uint32_t rec_size = hdr.size & kRecSizeMask;
+    if (rec_size > total - off) return false;
     if (hdr.final_dest >= num_ranks) return false;
-    off += hdr.size;
+    off += rec_size;
   }
   return true;
 }
 
-void routed_mailbox::note_rejected_packet() {
+void routed_mailbox::note_rejected_packet(int source, std::size_t bytes) {
   // Structurally corrupt: the whole packet is rejected *without* consuming
   // its sequence number, so an intact retransmission still delivers.
   ++stats_.packets_rejected;
+  obs::flight_record(obs::flight_kind::mbox_reject,
+                     static_cast<std::uint64_t>(source), bytes);
   if (obs::metrics_on()) {
     obs::metrics_registry::instance()
         .get_counter("mailbox.packets_rejected")
@@ -129,12 +140,14 @@ void routed_mailbox::note_rejected_packet() {
   }
 }
 
-void routed_mailbox::note_duplicate_packet(std::uint64_t seq) {
+void routed_mailbox::note_duplicate_packet(int source, std::uint64_t seq) {
   // Transport replay (fault layer): this packet was already consumed;
   // replaying it would double-deliver every record inside.
   ++stats_.packets_dropped_duplicate;
   obs::trace_instant("mailbox.dup_drop", "mailbox", "seq",
                      static_cast<double>(seq));
+  obs::flight_record(obs::flight_kind::mbox_dup_drop,
+                     static_cast<std::uint64_t>(source), seq);
   if (obs::metrics_on()) {
     obs::metrics_registry::instance()
         .get_counter("mailbox.packets_dropped_duplicate")

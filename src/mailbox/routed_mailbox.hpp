@@ -45,7 +45,9 @@
 
 #include "mailbox/seq_window.hpp"
 #include "mailbox/topology.hpp"
+#include "obs/flight.hpp"
 #include "obs/stats_fields.hpp"
+#include "obs/trace_context.hpp"
 #include "runtime/comm.hpp"
 
 namespace sfg::mailbox {
@@ -84,7 +86,14 @@ class routed_mailbox {
   /// Defined inline below: visitors send fixed-size records, and inlining
   /// lets the record size constant-fold so the framing memcpys compile to
   /// straight stores.
-  void send(int final_dest, std::span<const std::byte> record);
+  ///
+  /// `ctx` is the optional sampled causal context (trace_context.hpp).  The
+  /// common case (ctx == 0) adds nothing to the wire; a sampled record is
+  /// framed with the ctx-flag bit in its size field and 8 extra bytes, and
+  /// the ctx rides with the record through every routing hop and replica
+  /// forward until delivery, where ctx-aware handlers receive it.
+  void send(int final_dest, std::span<const std::byte> record,
+            obs::trace_ctx ctx = 0);
 
   /// Feed one packet received from the comm (message.tag must equal
   /// config::tag).  Records addressed to this rank are handed to `deliver`;
@@ -138,13 +147,18 @@ class routed_mailbox {
 
   /// Compact per-record framing: ranks fit 16 bits by construction
   /// (vertex_locator reserves exactly 16 owner bits), so the header is 8
-  /// bytes instead of the 12 a naive int triple would take.
+  /// bytes instead of the 12 a naive int triple would take.  The top bit of
+  /// `size` flags a sampled record: an 8-byte obs::trace_ctx follows the
+  /// header before the payload.  Unsampled records (the overwhelming
+  /// majority even with SFG_TRACE_SAMPLE on) keep the exact PR 3 framing.
   struct record_header {
     std::uint16_t final_dest;
     std::uint16_t origin;
     std::uint32_t size;
   };
   static_assert(sizeof(record_header) == 8);
+  static constexpr std::uint32_t kCtxFlag = 0x8000'0000u;
+  static constexpr std::uint32_t kRecSizeMask = 0x7fff'ffffu;
 
   enum class flush_reason { size, age, manual };
 
@@ -163,17 +177,31 @@ class routed_mailbox {
 
   /// Append a record to the buffer for its next hop (or local arena).
   void route_record(std::uint16_t origin, int final_dest,
-                    std::span<const std::byte> record);
+                    std::span<const std::byte> record, obs::trace_ctx ctx);
   void flush_channel(int next_hop, flush_reason why);
+
+  /// Invoke a delivery callable with or without the trace context,
+  /// whichever arity it accepts — existing 2-arg handlers keep compiling
+  /// and pay nothing; ctx-aware handlers opt in with a third parameter.
+  template <typename F>
+  static void deliver_record(F& f, int origin, std::span<const std::byte> rec,
+                             obs::trace_ctx ctx) {
+    if constexpr (std::is_invocable_v<F&, int, std::span<const std::byte>,
+                                      obs::trace_ctx>) {
+      f(origin, rec, ctx);
+    } else {
+      f(origin, rec);
+    }
+  }
 
   /// Walk a packet payload checking that every record fits; true iff the
   /// packet is structurally sound end to end.
   [[nodiscard]] bool validate_packet(std::span<const std::byte> payload) const;
 
   /// Cold paths of process_packet, kept out of the template body: stats +
-  /// trace + metrics for rejected / replayed packets.
-  void note_rejected_packet();
-  void note_duplicate_packet(std::uint64_t seq);
+  /// trace + metrics + flight recorder for rejected / replayed packets.
+  void note_rejected_packet(int source, std::size_t bytes);
+  void note_duplicate_packet(int source, std::uint64_t seq);
 
   runtime::comm* comm_;
   config cfg_;
@@ -201,24 +229,31 @@ class routed_mailbox {
 };
 
 inline void routed_mailbox::send(int final_dest,
-                                 std::span<const std::byte> record) {
+                                 std::span<const std::byte> record,
+                                 obs::trace_ctx ctx) {
   ++stats_.records_sent;
-  route_record(static_cast<std::uint16_t>(comm_->rank()), final_dest, record);
+  route_record(static_cast<std::uint16_t>(comm_->rank()), final_dest, record,
+               ctx);
 }
 
 inline void routed_mailbox::route_record(std::uint16_t origin, int final_dest,
-                                         std::span<const std::byte> record) {
+                                         std::span<const std::byte> record,
+                                         obs::trace_ctx ctx) {
   assert(final_dest >= 0 && final_dest < comm_->size());
-  assert(record.size() <= 0xffffffffu);
+  assert(record.size() <= kRecSizeMask);
+  const std::uint32_t size_field =
+      static_cast<std::uint32_t>(record.size()) | (ctx != 0 ? kCtxFlag : 0u);
   const record_header hdr{static_cast<std::uint16_t>(final_dest), origin,
-                          static_cast<std::uint32_t>(record.size())};
+                          size_field};
   const auto* hdr_bytes = reinterpret_cast<const std::byte*>(&hdr);
+  const auto* ctx_bytes = reinterpret_cast<const std::byte*>(&ctx);
   if (final_dest == comm_->rank()) {
     // Self-sends go to the flat local arena, framed exactly like a packet
     // record; drain_local hands out span views into it (no per-record
     // allocation, see the zero-alloc test).
     auto& arena = draining_local_ ? local_scratch_ : local_arena_;
     arena.insert(arena.end(), hdr_bytes, hdr_bytes + sizeof(hdr));
+    if (ctx != 0) arena.insert(arena.end(), ctx_bytes, ctx_bytes + sizeof(ctx));
     arena.insert(arena.end(), record.begin(), record.end());
     return;
   }
@@ -238,6 +273,7 @@ inline void routed_mailbox::route_record(std::uint16_t origin, int final_dest,
     ++dirty_count_;
   }
   ch.buf.insert(ch.buf.end(), hdr_bytes, hdr_bytes + sizeof(hdr));
+  if (ctx != 0) ch.buf.insert(ch.buf.end(), ctx_bytes, ctx_bytes + sizeof(ctx));
   ch.buf.insert(ch.buf.end(), record.begin(), record.end());
   if (ch.buf.size() >= ch.watermark) flush_channel(hop, flush_reason::size);
 }
@@ -247,13 +283,13 @@ std::size_t routed_mailbox::process_packet(const runtime::message& m,
                                            F&& deliver) {
   assert(m.tag == cfg_.tag);
   if (m.payload.size() < sizeof(packet_header) || !validate_packet(m.payload)) {
-    note_rejected_packet();
+    note_rejected_packet(m.source, m.payload.size());
     return 0;
   }
   packet_header ph;
   std::memcpy(&ph, m.payload.data(), sizeof(ph));
   if (!seen_packet_seq_[static_cast<std::size_t>(m.source)].first_time(ph.seq)) {
-    note_duplicate_packet(ph.seq);
+    note_duplicate_packet(m.source, ph.seq);
     return 0;
   }
   std::size_t delivered = 0;
@@ -265,17 +301,33 @@ std::size_t routed_mailbox::process_packet(const runtime::message& m,
     record_header hdr;
     std::memcpy(&hdr, data + off, sizeof(hdr));
     off += sizeof(hdr);
-    const std::span<const std::byte> record(data + off, hdr.size);
-    off += hdr.size;
+    obs::trace_ctx ctx = 0;
+    if (hdr.size & kCtxFlag) {
+      std::memcpy(&ctx, data + off, sizeof(ctx));
+      off += sizeof(ctx);
+    }
+    const std::uint32_t rec_size = hdr.size & kRecSizeMask;
+    const std::span<const std::byte> record(data + off, rec_size);
+    off += rec_size;
     if (static_cast<int>(hdr.final_dest) == self) {
       ++stats_.records_delivered;
       ++delivered;
-      deliver(static_cast<int>(hdr.origin), record);
+      deliver_record(deliver, static_cast<int>(hdr.origin), record, ctx);
     } else {
       ++stats_.records_forwarded;
-      route_record(hdr.origin, static_cast<int>(hdr.final_dest), record);
+      if (ctx != 0) {
+        // One routing hop of a sampled visitor: bump the hop count and drop
+        // a flow step so the Chrome trace draws the relay arrow through
+        // this rank's row.
+        ctx = obs::ctx_bump_hop(ctx);
+        obs::trace_flow_step("visitor.hop", obs::ctx_flow_id(ctx),
+                             "visitor_flow", "hop",
+                             static_cast<double>(obs::ctx_hops(ctx)));
+      }
+      route_record(hdr.origin, static_cast<int>(hdr.final_dest), record, ctx);
     }
   }
+  obs::flight_record(obs::flight_kind::mbox_packet, delivered, total);
   return delivered;
 }
 
@@ -297,12 +349,18 @@ std::size_t routed_mailbox::drain_local(F&& deliver) {
       assert(off + sizeof(hdr) <= total);
       std::memcpy(&hdr, data + off, sizeof(hdr));
       off += sizeof(hdr);
-      assert(off + hdr.size <= total);
+      obs::trace_ctx ctx = 0;
+      if (hdr.size & kCtxFlag) {
+        std::memcpy(&ctx, data + off, sizeof(ctx));
+        off += sizeof(ctx);
+      }
+      const std::uint32_t rec_size = hdr.size & kRecSizeMask;
+      assert(off + rec_size <= total);
       ++stats_.records_delivered;
       ++delivered;
-      deliver(static_cast<int>(hdr.origin),
-              std::span<const std::byte>(data + off, hdr.size));
-      off += hdr.size;
+      deliver_record(deliver, static_cast<int>(hdr.origin),
+                     std::span<const std::byte>(data + off, rec_size), ctx);
+      off += rec_size;
     }
     local_arena_.clear();
     std::swap(local_arena_, local_scratch_);

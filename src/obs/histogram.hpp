@@ -1,0 +1,102 @@
+/// \file histogram.hpp
+/// Fixed-bucket log2 histogram — the quantile companion to the registry's
+/// counter/gauge/timer trio.  Values land in bucket `bit_width(v)` (so
+/// bucket 0 holds exactly v == 0 and bucket i holds [2^(i-1), 2^i)); the
+/// bucket count is fixed at 65, so the type is trivially copyable, needs
+/// no allocation, and composes with the stats_traits reflection (delta /
+/// add / to_json / to_registry) like any other counter field.
+///
+/// Quantile estimates are the *upper bound* of the bucket containing the
+/// requested rank — deterministic and conservative (never under-reports a
+/// tail), with log2 resolution, which is exactly enough to tell a 10 us
+/// wave from a 10 ms straggler wave.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+#include "obs/json.hpp"
+
+namespace sfg::obs {
+
+struct histogram {
+  /// bit_width of a uint64 ranges 0..64.
+  static constexpr std::size_t kBuckets = 65;
+
+  std::array<std::uint64_t, kBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+
+  [[nodiscard]] static constexpr std::size_t bucket_of(std::uint64_t v) noexcept {
+    return static_cast<std::size_t>(std::bit_width(v));
+  }
+
+  /// Upper bound (inclusive) of bucket i: the largest value that maps there.
+  [[nodiscard]] static constexpr std::uint64_t bucket_upper(std::size_t i) noexcept {
+    if (i == 0) return 0;
+    if (i >= 64) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << i) - 1;
+  }
+
+  void add(std::uint64_t v) noexcept {
+    ++buckets[bucket_of(v)];
+    ++count;
+    sum += v;
+  }
+
+  /// Upper bound of the bucket holding the q-quantile (q in [0, 1]);
+  /// 0 when the histogram is empty.
+  [[nodiscard]] std::uint64_t quantile(double q) const noexcept {
+    if (count == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    // Rank of the target observation, 1-based; ceil without float drift.
+    std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(count));
+    if (rank == 0) rank = 1;
+    if (rank > count) rank = count;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += buckets[i];
+      if (seen >= rank) return bucket_upper(i);
+    }
+    return bucket_upper(kBuckets - 1);
+  }
+
+  [[nodiscard]] double mean() const noexcept {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  /// {"count", "sum", "mean", "p50", "p90", "p99"} — the summary shape the
+  /// run reports and the registry snapshot share.
+  [[nodiscard]] json to_json() const {
+    json o = json::object();
+    o["count"] = count;
+    o["sum"] = sum;
+    o["mean"] = mean();
+    o["p50"] = quantile(0.50);
+    o["p90"] = quantile(0.90);
+    o["p99"] = quantile(0.99);
+    return o;
+  }
+
+  /// Field-wise accumulate / difference, matching the stats_add /
+  /// stats_delta conventions for plain counters.
+  void merge(const histogram& o) noexcept {
+    for (std::size_t i = 0; i < kBuckets; ++i) buckets[i] += o.buckets[i];
+    count += o.count;
+    sum += o.sum;
+  }
+  [[nodiscard]] histogram minus(const histogram& before) const noexcept {
+    histogram out;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      out.buckets[i] = buckets[i] - before.buckets[i];
+    }
+    out.count = count - before.count;
+    out.sum = sum - before.sum;
+    return out;
+  }
+};
+
+}  // namespace sfg::obs

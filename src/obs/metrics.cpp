@@ -41,6 +41,11 @@ obs_toggles::obs_toggles() {
     trace_path = env;
     std::atexit([] { write_chrome_trace(trace_path); });
   }
+  if (const char* env = std::getenv("SFG_TRACE_SAMPLE");
+      env != nullptr && *env != '\0') {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n > 0) sample.store(static_cast<std::uint32_t>(n), std::memory_order_relaxed);
+  }
 }
 
 obs_toggles& toggles() {
@@ -78,6 +83,7 @@ struct metrics_registry::impl {
   std::map<std::string, std::unique_ptr<counter>, std::less<>> counters;
   std::map<std::string, std::unique_ptr<gauge>, std::less<>> gauges;
   std::map<std::string, std::unique_ptr<timer_metric>, std::less<>> timers;
+  std::map<std::string, std::unique_ptr<histogram_metric>, std::less<>> histograms;
 };
 
 metrics_registry::impl& metrics_registry::state() const {
@@ -121,6 +127,17 @@ timer_metric& metrics_registry::get_timer(std::string_view name) {
   return *it->second;
 }
 
+histogram_metric& metrics_registry::get_histogram(std::string_view name) {
+  impl& s = state();
+  const std::scoped_lock lock(s.mu);
+  auto it = s.histograms.find(name);
+  if (it == s.histograms.end()) {
+    it = s.histograms.emplace(std::string(name), std::make_unique<histogram_metric>())
+             .first;
+  }
+  return *it->second;
+}
+
 json metrics_registry::snapshot() const {
   impl& s = state();
   const std::scoped_lock lock(s.mu);
@@ -140,6 +157,9 @@ json metrics_registry::snapshot() const {
     timers[name] = std::move(entry);
   }
   out["timers"] = std::move(timers);
+  json histograms = json::object();
+  for (const auto& [name, h] : s.histograms) histograms[name] = h->snapshot().to_json();
+  out["histograms"] = std::move(histograms);
   return out;
 }
 
@@ -149,6 +169,7 @@ void metrics_registry::reset_values() {
   for (auto& [name, c] : s.counters) c->reset();
   for (auto& [name, g] : s.gauges) g->reset();
   for (auto& [name, t] : s.timers) t->reset();
+  for (auto& [name, h] : s.histograms) h->reset();
 }
 
 }  // namespace sfg::obs

@@ -13,10 +13,14 @@
 /// fetch_add.
 ///
 /// Environment switches (mirroring SFG_LOG / SFG_CHAOS_SEED):
-///   SFG_METRICS=<path>  enable metrics; visitor-queue traversals append a
-///                       structured JSON report at <path> (run_report.hpp)
-///   SFG_TRACE=<path>    enable tracing; a Chrome/Perfetto-loadable trace
-///                       is written to <path> at process exit (trace.hpp)
+///   SFG_METRICS=<path>      enable metrics; visitor-queue traversals append
+///                           a structured JSON report at <path>
+///                           (run_report.hpp)
+///   SFG_TRACE=<path>        enable tracing; a Chrome/Perfetto-loadable trace
+///                           is written to <path> at process exit (trace.hpp)
+///   SFG_TRACE_SAMPLE=<n>    sample 1-in-n visitor pushes with a causal trace
+///                           context that follows the visitor across ranks
+///                           (trace_context.hpp); 0/unset disables sampling
 #pragma once
 
 #include <atomic>
@@ -25,6 +29,7 @@
 #include <string>
 #include <string_view>
 
+#include "obs/histogram.hpp"
 #include "obs/json.hpp"
 
 namespace sfg::obs {
@@ -32,11 +37,14 @@ namespace sfg::obs {
 namespace detail {
 
 /// Lazily-initialized process toggles; the constructor (metrics.cpp) reads
-/// SFG_METRICS / SFG_TRACE once and registers the exit-time trace writer.
+/// SFG_METRICS / SFG_TRACE / SFG_TRACE_SAMPLE once and registers the
+/// exit-time trace writer.
 struct obs_toggles {
   obs_toggles();
   std::atomic<bool> metrics{false};
   std::atomic<bool> trace{false};
+  /// Visitor causal-sampling rate: sample 1-in-`sample` pushes; 0 = off.
+  std::atomic<std::uint32_t> sample{0};
 };
 
 obs_toggles& toggles();
@@ -124,6 +132,56 @@ class timer_metric {
   std::atomic<std::uint64_t> max_ns_{0};
 };
 
+/// Concurrent fixed-bucket log2 histogram — the registry-resident sibling
+/// of obs::histogram (histogram.hpp).  record() is gated like counter::add;
+/// concurrent records only touch relaxed atomics.  snapshot() materializes
+/// a plain obs::histogram for quantile math / JSON.
+class histogram_metric {
+ public:
+  void record(std::uint64_t v) noexcept {
+    if (metrics_on()) record_raw(v);
+  }
+  /// Ungated record, for sites that hoisted the metrics_on() check.
+  void record_raw(std::uint64_t v) noexcept {
+    buckets_[histogram::bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  /// Fold a plain histogram (e.g. a per-rank delta from a stats struct)
+  /// into this registry entry.  Ungated, like counter::add_raw.
+  void merge_raw(const histogram& h) noexcept {
+    for (std::size_t i = 0; i < histogram::kBuckets; ++i) {
+      if (h.buckets[i] != 0) {
+        buckets_[i].fetch_add(h.buckets[i], std::memory_order_relaxed);
+      }
+    }
+    count_.fetch_add(h.count, std::memory_order_relaxed);
+    sum_.fetch_add(h.sum, std::memory_order_relaxed);
+  }
+  [[nodiscard]] histogram snapshot() const noexcept {
+    histogram h;
+    for (std::size_t i = 0; i < histogram::kBuckets; ++i) {
+      h.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+    h.count = count_.load(std::memory_order_relaxed);
+    h.sum = sum_.load(std::memory_order_relaxed);
+    return h;
+  }
+  void reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, histogram::kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
 /// RAII timer: reads the clock only while metrics are enabled.
 class scoped_timer {
  public:
@@ -159,10 +217,12 @@ class metrics_registry {
   counter& get_counter(std::string_view name);
   gauge& get_gauge(std::string_view name);
   timer_metric& get_timer(std::string_view name);
+  histogram_metric& get_histogram(std::string_view name);
 
   /// Everything registered, as one JSON object:
   ///   {"counters": {name: u64}, "gauges": {name: f64},
-  ///    "timers": {name: {count, total_ms, max_ms}}}
+  ///    "timers": {name: {count, total_ms, max_ms}},
+  ///    "histograms": {name: {count, sum, mean, p50, p90, p99}}}
   /// Names are emitted in sorted order (reports stay diffable).
   [[nodiscard]] json snapshot() const;
 

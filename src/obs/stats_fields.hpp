@@ -25,6 +25,7 @@
 #include <tuple>
 #include <type_traits>
 
+#include "obs/histogram.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 
@@ -66,6 +67,8 @@ template <reflected_stats T>
     using M = std::remove_cvref_t<decltype(after.*(fl.member))>;
     if constexpr (reflected_stats<M>) {
       out.*(fl.member) = stats_delta(after.*(fl.member), before.*(fl.member));
+    } else if constexpr (std::is_same_v<M, histogram>) {
+      out.*(fl.member) = (after.*(fl.member)).minus(before.*(fl.member));
     } else {
       out.*(fl.member) =
           static_cast<M>((after.*(fl.member)) - (before.*(fl.member)));
@@ -86,6 +89,8 @@ void stats_add(T& into, const T& other) {
     using M = std::remove_cvref_t<decltype(into.*(fl.member))>;
     if constexpr (reflected_stats<M>) {
       stats_add(into.*(fl.member), other.*(fl.member));
+    } else if constexpr (std::is_same_v<M, histogram>) {
+      (into.*(fl.member)).merge(other.*(fl.member));
     } else {
       into.*(fl.member) = static_cast<M>((into.*(fl.member)) + (other.*(fl.member)));
     }
@@ -104,6 +109,8 @@ template <reflected_stats T>
     using M = std::remove_cvref_t<decltype(s.*(fl.member))>;
     if constexpr (reflected_stats<M>) {
       out[fl.name] = stats_to_json(s.*(fl.member));
+    } else if constexpr (std::is_same_v<M, histogram>) {
+      out[fl.name] = (s.*(fl.member)).to_json();
     } else if constexpr (std::is_floating_point_v<M>) {
       out[fl.name] = static_cast<double>(s.*(fl.member));
     } else {
@@ -125,6 +132,8 @@ void stats_to_registry(const std::string& prefix, const T& s) {
     const std::string name = prefix + "." + fl.name;
     if constexpr (reflected_stats<M>) {
       stats_to_registry(name, s.*(fl.member));
+    } else if constexpr (std::is_same_v<M, histogram>) {
+      reg.get_histogram(name).merge_raw(s.*(fl.member));
     } else if constexpr (!std::is_floating_point_v<M>) {
       reg.get_counter(name).add_raw(static_cast<std::uint64_t>(s.*(fl.member)));
     } else {

@@ -96,6 +96,13 @@ void trace_counter_event(const char* name, double value) noexcept {
                       detail::trace_tid(), trace_now_us(), 0, "value", value});
 }
 
+void trace_flow(char ph, const char* name, const char* cat, std::uint64_t id,
+                const char* arg_name, double arg_value) noexcept {
+  if (!trace_on()) return;
+  detail::trace_emit({name, cat, ph, detail::trace_pid(), detail::trace_tid(),
+                      trace_now_us(), 0, arg_name, arg_value, id});
+}
+
 namespace {
 
 json event_to_json(const detail::trace_event& ev) {
@@ -108,6 +115,11 @@ json event_to_json(const detail::trace_event& ev) {
   o["pid"] = static_cast<std::int64_t>(ev.pid);
   o["tid"] = static_cast<std::uint64_t>(ev.tid);
   if (ev.ph == 'i') o["s"] = "t";  // thread-scoped instant
+  if (ev.ph == 's' || ev.ph == 't' || ev.ph == 'f') {
+    o["id"] = ev.flow_id;
+    // Bind the flow terminus to the enclosing slice like Chrome does.
+    if (ev.ph == 'f') o["bp"] = "e";
+  }
   if (ev.arg_name != nullptr) {
     json args = json::object();
     args[ev.arg_name] = ev.arg_value;

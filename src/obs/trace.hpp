@@ -42,13 +42,14 @@ namespace detail {
 struct trace_event {
   const char* name;
   const char* cat;
-  char ph;  ///< 'X' complete, 'i' instant, 'C' counter
+  char ph;  ///< 'X' complete, 'i' instant, 'C' counter, 's'/'t'/'f' flow
   std::int32_t pid;
   std::uint32_t tid;
   std::uint64_t ts_us;
   std::uint64_t dur_us;
   const char* arg_name;  ///< nullptr when the event carries no argument
   double arg_value;
+  std::uint64_t flow_id = 0;  ///< binds 's'/'t'/'f' events into one flow
 };
 
 void trace_emit(const trace_event& ev) noexcept;
@@ -103,6 +104,31 @@ void trace_complete(const char* name, const char* cat, std::uint64_t start_us,
 
 /// Counter track ('C'): one series per name, plotted over time.
 void trace_counter_event(const char* name, double value) noexcept;
+
+/// Chrome-trace flow event ('s' start / 't' step / 'f' end).  Events with
+/// the same (cat, id) pair are drawn as one arrow chain across rank rows —
+/// the rendering of a sampled visitor's causal chain (trace_context.hpp).
+void trace_flow(char ph, const char* name, const char* cat, std::uint64_t id,
+                const char* arg_name = nullptr, double arg_value = 0) noexcept;
+
+inline void trace_flow_begin(const char* name, std::uint64_t id,
+                             const char* cat = "visitor_flow",
+                             const char* arg_name = nullptr,
+                             double arg_value = 0) noexcept {
+  trace_flow('s', name, cat, id, arg_name, arg_value);
+}
+inline void trace_flow_step(const char* name, std::uint64_t id,
+                            const char* cat = "visitor_flow",
+                            const char* arg_name = nullptr,
+                            double arg_value = 0) noexcept {
+  trace_flow('t', name, cat, id, arg_name, arg_value);
+}
+inline void trace_flow_end(const char* name, std::uint64_t id,
+                           const char* cat = "visitor_flow",
+                           const char* arg_name = nullptr,
+                           double arg_value = 0) noexcept {
+  trace_flow('f', name, cat, id, arg_name, arg_value);
+}
 
 /// Serialize everything recorded so far as Chrome trace JSON
 /// ({"traceEvents": [...]}) loadable in chrome://tracing and Perfetto.

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/flight.hpp"
+
 namespace sfg::runtime {
 
 world::world(int num_ranks, net_params net, fault_params faults)
@@ -94,6 +96,10 @@ void comm::fault_send(int dest, message m) {
     std::this_thread::sleep_for(fault_stream_.duration_up_to(f.max_stall));
   }
   const int copies = fault_stream_.decide(f.duplicate_prob) ? 2 : 1;
+  if (copies > 1) {
+    obs::flight_record(obs::flight_kind::fault_duplicate,
+                       static_cast<std::uint64_t>(dest));
+  }
   struct plan {
     bool delay;
     std::chrono::nanoseconds delay_by;
@@ -106,6 +112,14 @@ void comm::fault_send(int dest, message m) {
     plans[i].delay_by = fault_stream_.duration_up_to(f.max_delay);
     plans[i].reorder = fault_stream_.decide(f.reorder_prob);
     plans[i].position = fault_stream_.below(1u << 20);
+    if (plans[i].delay) {
+      obs::flight_record(
+          obs::flight_kind::fault_delay, static_cast<std::uint64_t>(dest),
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  plans[i].delay_by)
+                  .count()));
+    }
   }
   auto& ep = *world_->endpoints_[static_cast<std::size_t>(dest)];
   const auto now = std::chrono::steady_clock::now();

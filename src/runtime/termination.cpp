@@ -4,6 +4,7 @@
 #include <cassert>
 #include <vector>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 
 namespace sfg::runtime {
@@ -30,7 +31,11 @@ void tree_termination::send_control(int dest, const control_msg& m) {
 
 void tree_termination::begin_wave(std::uint32_t wave) {
   current_wave_ = wave;
-  wave_start_us_ = obs::trace_on() ? obs::trace_now_us() : 0;
+  // The wave span feeds both the trace timeline and the registry's
+  // wave-duration histogram, so stamp whenever either consumer is live.
+  wave_start_us_ =
+      (obs::trace_on() || obs::metrics_on()) ? obs::trace_now_us() : 0;
+  obs::flight_record(obs::flight_kind::term_wave, wave);
   child_reports_ = 0;
   child_reported_[0] = child_reported_[1] = false;
   child_sent_sum_ = 0;
@@ -71,6 +76,7 @@ void tree_termination::on_message(const message& m) {
       if (!finished_) {
         finished_ = true;
         obs::trace_instant("term.done", "term");
+        obs::flight_record(obs::flight_kind::term_done, current_wave_);
         flood_done();
       }
       break;
@@ -88,18 +94,24 @@ void tree_termination::try_report(std::uint64_t local_sent,
   const std::uint64_t recv = local_recv + child_recv_sum_;
   reported_wave_ = current_wave_;
   ++completed_waves_;
+  obs::flight_record(obs::flight_kind::term_report, sent, recv);
   // Waves are frequent while a traversal is active (the root re-arms
   // immediately), so skip even the registry lookup when metrics are off.
   if (obs::metrics_on()) {
     obs::metrics_registry::instance().get_counter("term.waves").add_raw(1);
   }
   if (wave_start_us_ != 0) {
+    const std::uint64_t dur_us = obs::trace_now_us() - wave_start_us_;
     // Per-rank wave span: from this rank learning of the wave to its
     // report going up the tree — the visual of how long quiescence
     // confirmation idled each rank.
-    obs::trace_complete("term.wave", "term", wave_start_us_,
-                        obs::trace_now_us() - wave_start_us_, "wave",
+    obs::trace_complete("term.wave", "term", wave_start_us_, dur_us, "wave",
                         static_cast<double>(current_wave_));
+    if (obs::metrics_on()) {
+      obs::metrics_registry::instance()
+          .get_histogram("term.wave_us")
+          .record_raw(dur_us);
+    }
     wave_start_us_ = 0;
   }
 
@@ -124,6 +136,7 @@ void tree_termination::finalize_root_wave() {
   if (balanced && stable) {
     finished_ = true;
     obs::trace_instant("term.done", "term");
+    obs::flight_record(obs::flight_kind::term_done, current_wave_);
     flood_done();
     return;
   }

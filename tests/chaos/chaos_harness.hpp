@@ -29,6 +29,7 @@
 #include "core/visitor_queue.hpp"
 #include "gen/edge.hpp"
 #include "gen/generators.hpp"
+#include "obs/flight.hpp"
 #include "runtime/fault.hpp"
 #include "runtime/runtime.hpp"
 #include "util/chaos.hpp"
@@ -97,6 +98,13 @@ void run_sweep(const sweep_config& cfg, Body&& body) {
     runtime::launch(
         cfg.ranks, [&](runtime::comm& c) { body(c, s); }, runtime::net_params{},
         s.faults);
+    if (::testing::Test::HasFailure()) {
+      // Black-box moment: the failing schedule's last events are still in
+      // the per-rank rings.  Dump them (no-op without SFG_FLIGHT_DUMP) and
+      // stop the sweep so later seeds don't overwrite the evidence.
+      obs::flight_dump("chaos-failure");
+      return;
+    }
   }
 }
 

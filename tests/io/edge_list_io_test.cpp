@@ -58,7 +58,9 @@ class DistributedIoP : public ::testing::TestWithParam<int> {};
 
 TEST_P(DistributedIoP, BinarySlicesCoverExactly) {
   const int p = GetParam();
-  const auto path = tmp_path("sfg_bin_dist.bin");
+  // Suffix by world size: ctest runs the parameterized instances
+  // concurrently as separate processes, so a shared path is a collision.
+  const auto path = tmp_path("sfg_bin_dist_" + std::to_string(p) + ".bin");
   const auto edges = sample_edges(1013);  // not divisible by p
   write_binary_edges(path, edges);
   launch(p, [&](comm& c) {
@@ -71,7 +73,7 @@ TEST_P(DistributedIoP, BinarySlicesCoverExactly) {
 
 TEST_P(DistributedIoP, DistributedWriteReadRoundTrip) {
   const int p = GetParam();
-  const auto path = tmp_path("sfg_bin_dwrite.bin");
+  const auto path = tmp_path("sfg_bin_dwrite_" + std::to_string(p) + ".bin");
   launch(p, [&](comm& c) {
     // Each rank contributes a distinct, identifiable slice.
     std::vector<edge64> mine;
@@ -98,7 +100,7 @@ TEST_P(DistributedIoP, DistributedWriteReadRoundTrip) {
 
 TEST_P(DistributedIoP, TextSlicesParseEveryLineOnce) {
   const int p = GetParam();
-  const auto path = tmp_path("sfg_txt_dist.txt");
+  const auto path = tmp_path("sfg_txt_dist_" + std::to_string(p) + ".txt");
   const auto edges = sample_edges(523);
   write_text_edges(path, edges);
   launch(p, [&](comm& c) {

@@ -1,0 +1,230 @@
+/// Flight-recorder tests (DESIGN.md §9): ring wrap-around accounting,
+/// the sfg-flight/1 dump schema, the enable gate, in-place clear, and the
+/// black-box path itself — a rank fault inside runtime::launch must leave
+/// a parsable dump behind with every participating rank's ring in it.
+#include "obs/flight.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "runtime/runtime.hpp"
+#include "util/log.hpp"
+
+namespace sfg::obs {
+namespace {
+
+/// Saves and restores every global flight toggle so tests compose: the
+/// recorder is process-global state shared with other suites in this
+/// binary.
+struct flight_fixture : ::testing::Test {
+  bool saved_enabled = flight_on();
+  std::size_t saved_capacity = flight_capacity();
+  std::string saved_path = flight_dump_path();
+  void SetUp() override {
+    set_flight_enabled(true);
+    set_flight_dump_path("");
+    flight_clear();
+  }
+  void TearDown() override {
+    set_flight_dump_path(saved_path);
+    set_flight_capacity(saved_capacity);  // also discards test rings
+    set_flight_enabled(saved_enabled);
+  }
+};
+
+/// Record `n` events as `rank`, values a = 0..n-1, on a dedicated thread
+/// (the ring is keyed by the calling thread's rank).
+void record_as_rank(int rank, int n) {
+  std::thread([rank, n] {
+    util::set_thread_rank(rank);
+    for (int i = 0; i < n; ++i) {
+      flight_record(flight_kind::queue_batch, static_cast<std::uint64_t>(i),
+                    static_cast<std::uint64_t>(rank));
+    }
+    util::set_thread_rank(-1);
+  }).join();
+}
+
+const json* find_rank(const json& doc, std::int64_t rank) {
+  const json* ranks = doc.find("ranks");
+  if (ranks == nullptr) return nullptr;
+  for (std::size_t i = 0; i < ranks->size(); ++i) {
+    const json* r = ranks->at(i).find("rank");
+    if (r != nullptr && r->as_i64() == rank) return &ranks->at(i);
+  }
+  return nullptr;
+}
+
+using flight_test = flight_fixture;
+
+TEST_F(flight_test, DumpHasSchemaAndEventShape) {
+  record_as_rank(0, 3);
+  const json doc = flight_to_json("unit-test");
+  EXPECT_EQ(doc.find("schema")->as_string(), "sfg-flight/1");
+  EXPECT_EQ(doc.find("why")->as_string(), "unit-test");
+  EXPECT_EQ(doc.find("capacity")->as_u64(), flight_capacity());
+
+  const json* entry = find_rank(doc, 0);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->find("recorded")->as_u64(), 3u);
+  EXPECT_EQ(entry->find("dropped")->as_u64(), 0u);
+  const json& events = *entry->find("events");
+  ASSERT_EQ(events.size(), 3u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const json& ev = events.at(i);
+    ASSERT_NE(ev.find("ts_us"), nullptr);
+    EXPECT_EQ(ev.find("kind")->as_string(), "queue_batch");
+    EXPECT_EQ(ev.find("a")->as_u64(), i);  // oldest-to-newest
+    EXPECT_EQ(ev.find("b")->as_u64(), 0u);
+  }
+}
+
+TEST_F(flight_test, WrapAroundKeepsNewestAndCountsDropped) {
+  constexpr std::size_t kCap = 8;
+  constexpr int kEvents = 21;
+  set_flight_capacity(kCap);
+  EXPECT_EQ(flight_capacity(), kCap);
+  record_as_rank(1, kEvents);
+
+  const json doc = flight_to_json("wrap");
+  const json* entry = find_rank(doc, 1);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->find("recorded")->as_u64(), std::uint64_t{kEvents});
+  EXPECT_EQ(entry->find("dropped")->as_u64(), std::uint64_t{kEvents - kCap});
+  const json& events = *entry->find("events");
+  ASSERT_EQ(events.size(), kCap);
+  // Survivors are exactly the newest kCap, oldest-to-newest.
+  for (std::size_t i = 0; i < kCap; ++i) {
+    EXPECT_EQ(events.at(i).find("a")->as_u64(), kEvents - kCap + i);
+  }
+}
+
+TEST_F(flight_test, RecordedHereTracksTotalIncludingOverwritten) {
+  set_flight_capacity(4);
+  std::thread([] {
+    util::set_thread_rank(2);
+    for (int i = 0; i < 11; ++i) flight_record(flight_kind::term_wave);
+    EXPECT_EQ(flight_recorded_here(), 11u);
+    util::set_thread_rank(-1);
+  }).join();
+}
+
+TEST_F(flight_test, DisabledRecordsNothing) {
+  set_flight_enabled(false);
+  EXPECT_FALSE(flight_on());
+  record_as_rank(3, 5);
+  const json doc = flight_to_json("off");
+  const json* entry = find_rank(doc, 3);
+  // Either the ring was never created or it stayed empty.
+  if (entry != nullptr) {
+    EXPECT_EQ(entry->find("recorded")->as_u64(), 0u);
+  }
+}
+
+TEST_F(flight_test, ClearEmptiesRingsInPlace) {
+  record_as_rank(0, 5);
+  flight_clear();
+  const json cleared = flight_to_json("cleared");
+  const json* entry = find_rank(cleared, 0);
+  ASSERT_NE(entry, nullptr);  // ring survives, empty
+  EXPECT_EQ(entry->find("recorded")->as_u64(), 0u);
+  EXPECT_EQ(entry->find("events")->size(), 0u);
+  // And it keeps recording after the clear.
+  record_as_rank(0, 2);
+  const json after = flight_to_json("after");
+  entry = find_rank(after, 0);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->find("recorded")->as_u64(), 2u);
+}
+
+TEST_F(flight_test, WriteProducesParsableFile) {
+  record_as_rank(0, 2);
+  const std::string path = ::testing::TempDir() + "flight_test_out.json";
+  ASSERT_TRUE(flight_write(path, "file"));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const auto doc = json::parse(ss.str());
+  ASSERT_TRUE(doc.has_value()) << "flight dump is not valid JSON";
+  EXPECT_EQ(doc->find("schema")->as_string(), "sfg-flight/1");
+  std::remove(path.c_str());
+}
+
+TEST_F(flight_test, DumpToDirectoryUsesPerProcessName) {
+  record_as_rank(0, 1);
+  set_flight_dump_path(::testing::TempDir());
+  flight_dump("dir");
+  const std::string expected = ::testing::TempDir() + "/sfg_flight_" +
+                               std::to_string(::getpid()) + ".json";
+  std::ifstream in(expected);
+  EXPECT_TRUE(in.good()) << "expected dump at " << expected;
+  in.close();
+  std::remove(expected.c_str());
+}
+
+TEST_F(flight_test, DumpWithoutPathIsNoOp) {
+  // Fault paths call flight_dump unconditionally; with no configured path
+  // it must do nothing (and certainly not throw).
+  set_flight_dump_path("");
+  record_as_rank(0, 1);
+  flight_dump("nowhere");
+}
+
+TEST_F(flight_test, RankFaultDumpsEveryRanksRing) {
+  // The acceptance path: a rank throws mid-launch; runtime::launch records
+  // rank_fault and dumps before poisoning, so the file must exist, parse,
+  // and contain a ring for every participating rank — including the ones
+  // that were still blocked in the barrier when the fault hit.
+  constexpr int kRanks = 4;
+  const std::string path = ::testing::TempDir() + "flight_fault_dump.json";
+  std::remove(path.c_str());
+  set_flight_dump_path(path);
+
+  EXPECT_THROW(
+      runtime::launch(kRanks,
+                      [](runtime::comm& c) {
+                        flight_record(flight_kind::queue_batch, 1,
+                                      static_cast<std::uint64_t>(c.rank()));
+                        c.barrier();  // every ring populated before the fault
+                        if (c.rank() == 2) {
+                          throw std::runtime_error("injected rank fault");
+                        }
+                        c.barrier();  // survivors park here until poisoned
+                      }),
+      std::runtime_error);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "rank fault left no flight dump at " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const auto doc = json::parse(ss.str());
+  ASSERT_TRUE(doc.has_value()) << "flight dump is not valid JSON";
+  EXPECT_EQ(doc->find("why")->as_string(), "rank-fault");
+
+  for (int r = 0; r < kRanks; ++r) {
+    const json* entry = find_rank(*doc, r);
+    ASSERT_NE(entry, nullptr) << "rank " << r << " missing from dump";
+    EXPECT_GE(entry->find("recorded")->as_u64(), 1u);
+  }
+  // The faulting rank's ring ends with the rank_fault marker.
+  const json* faulted = find_rank(*doc, 2);
+  ASSERT_NE(faulted, nullptr);
+  const json& events = *faulted->find("events");
+  ASSERT_GT(events.size(), 0u);
+  const json& last = events.at(events.size() - 1);
+  EXPECT_EQ(last.find("kind")->as_string(), "rank_fault");
+  EXPECT_EQ(last.find("a")->as_u64(), 2u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sfg::obs

@@ -1,0 +1,257 @@
+/// Log2-histogram tests: bucket boundaries, the conservative (upper-bound)
+/// quantile rule, merge/minus arithmetic, the registry-resident
+/// histogram_metric, and the stats_traits reflection path a histogram
+/// field rides through (delta / add / to_json / to_registry).
+#include "obs/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/stats_fields.hpp"
+
+namespace sfg::obs {
+namespace {
+
+TEST(Histogram, BucketOfEdges) {
+  EXPECT_EQ(histogram::bucket_of(0), 0u);
+  EXPECT_EQ(histogram::bucket_of(1), 1u);
+  EXPECT_EQ(histogram::bucket_of(2), 2u);
+  EXPECT_EQ(histogram::bucket_of(3), 2u);
+  EXPECT_EQ(histogram::bucket_of(4), 3u);
+  // Each power of two opens a new bucket; bucket i holds [2^(i-1), 2^i).
+  for (int k = 1; k < 64; ++k) {
+    const std::uint64_t p = std::uint64_t{1} << k;
+    EXPECT_EQ(histogram::bucket_of(p - 1), static_cast<std::size_t>(k));
+    EXPECT_EQ(histogram::bucket_of(p), static_cast<std::size_t>(k + 1));
+  }
+  EXPECT_EQ(histogram::bucket_of(std::numeric_limits<std::uint64_t>::max()),
+            64u);
+}
+
+TEST(Histogram, BucketUpperEdges) {
+  EXPECT_EQ(histogram::bucket_upper(0), 0u);
+  EXPECT_EQ(histogram::bucket_upper(1), 1u);
+  EXPECT_EQ(histogram::bucket_upper(2), 3u);
+  EXPECT_EQ(histogram::bucket_upper(10), 1023u);
+  EXPECT_EQ(histogram::bucket_upper(64),
+            std::numeric_limits<std::uint64_t>::max());
+  // Upper bound really is the largest value mapping to that bucket.
+  for (std::size_t i = 1; i < 63; ++i) {
+    EXPECT_EQ(histogram::bucket_of(histogram::bucket_upper(i)), i);
+    EXPECT_EQ(histogram::bucket_of(histogram::bucket_upper(i) + 1), i + 1);
+  }
+}
+
+TEST(Histogram, EmptyIsAllZero) {
+  const histogram h{};
+  EXPECT_EQ(h.count, 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, AddAccumulatesCountAndSum) {
+  histogram h;
+  h.add(0);
+  h.add(1);
+  h.add(100);
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_EQ(h.sum, 101u);
+  EXPECT_EQ(h.buckets[histogram::bucket_of(0)], 1u);
+  EXPECT_EQ(h.buckets[histogram::bucket_of(100)], 1u);
+  EXPECT_DOUBLE_EQ(h.mean(), 101.0 / 3.0);
+}
+
+TEST(Histogram, QuantileIsBucketUpperBound) {
+  histogram h;
+  // 90 small values (bucket_of(10) == 4, upper 15) and 10 large stragglers
+  // (bucket_of(5000) == 13, upper 8191): p50 reports the small bucket's
+  // ceiling, p99 the straggler bucket's.
+  for (int i = 0; i < 90; ++i) h.add(10);
+  for (int i = 0; i < 10; ++i) h.add(5000);
+  EXPECT_EQ(h.quantile(0.50), 15u);
+  EXPECT_EQ(h.quantile(0.90), 15u);
+  EXPECT_EQ(h.quantile(0.99), 8191u);
+  EXPECT_EQ(h.quantile(1.00), 8191u);
+  // Out-of-range q clamps instead of misbehaving.
+  EXPECT_EQ(h.quantile(-1.0), 15u);
+  EXPECT_EQ(h.quantile(2.0), 8191u);
+}
+
+TEST(Histogram, ToJsonShape) {
+  histogram h;
+  h.add(7);
+  h.add(9);
+  const json o = h.to_json();
+  for (const char* key : {"count", "sum", "mean", "p50", "p90", "p99"}) {
+    ASSERT_NE(o.find(key), nullptr) << key;
+  }
+  EXPECT_EQ(o.find("count")->as_u64(), 2u);
+  EXPECT_EQ(o.find("sum")->as_u64(), 16u);
+  EXPECT_DOUBLE_EQ(o.find("mean")->as_double(), 8.0);
+}
+
+TEST(Histogram, MergeAndMinusAreInverse) {
+  histogram a;
+  a.add(1);
+  a.add(1000);
+  histogram b;
+  b.add(64);
+
+  histogram merged = a;
+  merged.merge(b);
+  EXPECT_EQ(merged.count, 3u);
+  EXPECT_EQ(merged.sum, 1065u);
+
+  const histogram back = merged.minus(b);
+  EXPECT_EQ(back.count, a.count);
+  EXPECT_EQ(back.sum, a.sum);
+  EXPECT_EQ(back.buckets, a.buckets);
+}
+
+// ---------------------------------------------------------------------------
+// Registry-resident histogram_metric.
+// ---------------------------------------------------------------------------
+
+struct metrics_toggle_guard {
+  bool metrics = metrics_on();
+  ~metrics_toggle_guard() { set_metrics_enabled(metrics); }
+};
+
+TEST(HistogramMetric, HandlesAreStable) {
+  auto& a = metrics_registry::instance().get_histogram("test.hist.stable");
+  auto& b = metrics_registry::instance().get_histogram("test.hist.stable");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(HistogramMetric, RecordGatedOnToggle) {
+  metrics_toggle_guard guard;
+  auto& h = metrics_registry::instance().get_histogram("test.hist.gated");
+  h.reset();
+  set_metrics_enabled(false);
+  h.record(5);
+  EXPECT_EQ(h.count(), 0u);
+  set_metrics_enabled(true);
+  h.record(5);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(HistogramMetric, ConcurrentRecordIsExact) {
+  metrics_toggle_guard guard;
+  set_metrics_enabled(true);
+  auto& h = metrics_registry::instance().get_histogram("test.hist.mt");
+  h.reset();
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50'000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) h.record_raw(i & 1023);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  EXPECT_EQ(h.snapshot().count, kThreads * kPerThread);
+}
+
+TEST(HistogramMetric, SnapshotAppearsInRegistryJson) {
+  metrics_toggle_guard guard;
+  set_metrics_enabled(true);
+  auto& h = metrics_registry::instance().get_histogram("test.hist.snap");
+  h.reset();
+  h.record(100);
+  h.record(200);
+
+  const json snap = metrics_registry::instance().snapshot();
+  const json* section = snap.find("histograms");
+  ASSERT_NE(section, nullptr) << "snapshot missing \"histograms\" section";
+  const json* entry = section->find("test.hist.snap");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->find("count")->as_u64(), 2u);
+  EXPECT_EQ(entry->find("sum")->as_u64(), 300u);
+
+  metrics_registry::instance().reset_values();
+  EXPECT_EQ(h.count(), 0u) << "reset_values must zero histograms too";
+}
+
+TEST(HistogramMetric, MergeRawFoldsPlainHistogram) {
+  metrics_toggle_guard guard;
+  set_metrics_enabled(true);
+  auto& hm = metrics_registry::instance().get_histogram("test.hist.fold");
+  hm.reset();
+  histogram h;
+  h.add(3);
+  h.add(300);
+  hm.merge_raw(h);
+  const histogram out = hm.snapshot();
+  EXPECT_EQ(out.count, 2u);
+  EXPECT_EQ(out.sum, 303u);
+  EXPECT_EQ(out.buckets, h.buckets);
+}
+
+// ---------------------------------------------------------------------------
+// stats_traits reflection: a histogram member is a first-class stats field.
+// ---------------------------------------------------------------------------
+
+struct timing_stats {
+  std::uint64_t calls = 0;
+  histogram latency_us;
+};
+
+}  // namespace
+
+template <>
+struct stats_traits<timing_stats> {
+  static constexpr auto fields = std::make_tuple(
+      stats_field{"calls", &timing_stats::calls},
+      stats_field{"latency_us", &timing_stats::latency_us});
+};
+
+namespace {
+
+TEST(HistogramStatsTraits, DeltaAddJsonAndRegistry) {
+  timing_stats before;
+  before.calls = 1;
+  before.latency_us.add(10);
+
+  timing_stats after = before;
+  after.calls = 3;
+  after.latency_us.add(20);
+  after.latency_us.add(4000);
+
+  const timing_stats d = stats_delta(after, before);
+  EXPECT_EQ(d.calls, 2u);
+  EXPECT_EQ(d.latency_us.count, 2u);
+  EXPECT_EQ(d.latency_us.sum, 4020u);
+
+  timing_stats total = before;
+  stats_add(total, d);
+  EXPECT_EQ(total.calls, after.calls);
+  EXPECT_EQ(total.latency_us.count, after.latency_us.count);
+  EXPECT_EQ(total.latency_us.sum, after.latency_us.sum);
+
+  const json o = stats_to_json(d);
+  ASSERT_NE(o.find("latency_us"), nullptr);
+  EXPECT_EQ(o.find("latency_us")->find("count")->as_u64(), 2u);
+  EXPECT_EQ(o.find("calls")->as_u64(), 2u);
+
+  metrics_toggle_guard guard;
+  set_metrics_enabled(true);
+  metrics_registry::instance().get_histogram("test.traits.latency_us").reset();
+  metrics_registry::instance().get_counter("test.traits.calls").reset();
+  stats_to_registry("test.traits", d);
+  EXPECT_EQ(metrics_registry::instance()
+                .get_histogram("test.traits.latency_us")
+                .count(),
+            2u);
+  EXPECT_EQ(metrics_registry::instance().get_counter("test.traits.calls").value(),
+            2u);
+}
+
+}  // namespace
+}  // namespace sfg::obs

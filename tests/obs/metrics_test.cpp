@@ -17,7 +17,9 @@
 #include <thread>
 #include <vector>
 
+#include "obs/flight.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_context.hpp"
 
 namespace {
 std::atomic<std::uint64_t> g_allocations{0};
@@ -220,6 +222,45 @@ TEST(Metrics, DisabledSitesDoNotAllocate) {
   EXPECT_EQ(t.count(), 0u);
   EXPECT_EQ(trace_event_count(), events_before)
       << "disabled tracing must not record events";
+}
+
+TEST(Metrics, FlightRecordHotPathDoesNotAllocate) {
+  // The flight recorder is ON by default, so its steady-state cost matters
+  // more than any other site's: after the first event faults in this
+  // thread's ring, recording must be allocation-free.
+  const bool saved = flight_on();
+  set_flight_enabled(true);
+  flight_record(flight_kind::queue_batch, 0, 0);  // warm up: ring + TLS cache
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 10'000; ++i) {
+    flight_record(flight_kind::queue_batch, static_cast<std::uint64_t>(i), 1);
+    flight_record(flight_kind::mbox_packet, 4, 256);
+  }
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "flight_record must not allocate after the ring exists";
+  set_flight_enabled(saved);
+}
+
+TEST(Metrics, DisabledFlightAndSamplingDoNotAllocate) {
+  toggle_guard guard;
+  set_trace_enabled(false);
+  const bool saved_flight = flight_on();
+  set_flight_enabled(false);
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  trace_ctx any_ctx = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    flight_record(flight_kind::queue_batch, 1, 2);
+    // Tracing off: the sampling decision is a single branch.
+    any_ctx |= sample_trace_ctx(0, static_cast<std::uint64_t>(i));
+  }
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(any_ctx, 0u) << "sampling must be off while tracing is off";
+  EXPECT_EQ(after - before, 0u)
+      << "disabled flight recorder and trace sampling must not allocate";
+  set_flight_enabled(saved_flight);
 }
 
 }  // namespace

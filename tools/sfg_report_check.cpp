@@ -4,17 +4,26 @@
 /// broken artifacts.
 ///
 ///   sfg_report_check [--bench FILE]... [--report FILE]... [--trace FILE]...
+///                    [--flight FILE]...
 ///
 ///   --bench   BENCH_*.json from bench/bench_common.hpp's reporter:
 ///             run-report schema + bench section (wall_time_s, tables)
 ///   --report  a run report (sfg-run-report/1, from sfg_cli --json-report)
 ///             or a metrics report (sfg-metrics/1, from SFG_METRICS)
-///   --trace   Chrome-trace JSON from SFG_TRACE / --trace
+///   --trace   Chrome-trace JSON from SFG_TRACE / --trace.  Flow events
+///             ('s'/'t'/'f') must carry an "id"; when any are present, at
+///             least one flow id must have both its start and its end — a
+///             complete sampled visitor chain.
+///   --flight  flight-recorder dump (sfg-flight/1, from SFG_FLIGHT_DUMP /
+///             the chaos harness / a rank fault)
 ///
 /// Exit status: 0 if every file validates, 1 otherwise (with one line per
 /// problem on stderr).
+#include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -140,6 +149,13 @@ void check_trace(const std::string& file) {
     fail(file, "traceEvents is empty");
     return;
   }
+  // Flow events bind by (cat, id); track which phases each flow carries so
+  // we can require at least one *complete* chain (start and end) when the
+  // trace contains any flows at all.
+  struct flow_phases {
+    bool s = false, f = false;
+  };
+  std::map<std::pair<std::string, std::uint64_t>, flow_phases> flows;
   for (std::size_t i = 0; i < events.size(); ++i) {
     const json& ev = events.at(i);
     for (const char* key : {"name", "ph", "pid"}) {
@@ -158,12 +174,98 @@ void check_trace(const std::string& file) {
       fail(file, "complete event " + std::to_string(i) + " missing \"dur\"");
       return;
     }
+    if (ph == "s" || ph == "t" || ph == "f") {
+      if (!has_key(ev, "id") || !ev.find("id")->is_number()) {
+        fail(file, "flow event " + std::to_string(i) + " (ph=" + ph +
+                       ") missing numeric \"id\"");
+        return;
+      }
+      const std::string cat =
+          has_key(ev, "cat") ? ev.find("cat")->as_string() : "";
+      auto& fp = flows[{cat, ev.find("id")->as_u64()}];
+      if (ph == "s") fp.s = true;
+      if (ph == "f") fp.f = true;
+    }
+  }
+  if (!flows.empty()) {
+    bool complete = false;
+    for (const auto& [key, fp] : flows) complete = complete || (fp.s && fp.f);
+    if (!complete) {
+      fail(file, "trace has flow events but no flow id carries both a start "
+                 "('s') and an end ('f') — no complete causal chain");
+    }
+  }
+}
+
+void check_flight(const std::string& file) {
+  const auto doc = load(file);
+  if (!doc) return;
+  if (!has_key(*doc, "schema") ||
+      !(*doc->find("schema") == json("sfg-flight/1"))) {
+    fail(file, "schema is not \"sfg-flight/1\"");
+    return;
+  }
+  if (!has_key(*doc, "why") || !doc->find("why")->is_string()) {
+    fail(file, "missing string \"why\"");
+  }
+  if (!has_key(*doc, "capacity") || !doc->find("capacity")->is_number()) {
+    fail(file, "missing numeric \"capacity\"");
+  }
+  if (!has_key(*doc, "ranks") || !doc->find("ranks")->is_array()) {
+    fail(file, "missing array \"ranks\"");
+    return;
+  }
+  const json& ranks = *doc->find("ranks");
+  std::set<std::int64_t> seen_ranks;
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    const json& entry = ranks.at(r);
+    const std::string where = "ranks[" + std::to_string(r) + "]";
+    for (const char* key : {"rank", "recorded", "dropped"}) {
+      if (!has_key(entry, key) || !entry.find(key)->is_number()) {
+        fail(file, where + " missing numeric \"" + key + "\"");
+        return;
+      }
+    }
+    const std::int64_t rank = entry.find("rank")->as_i64();
+    if (!seen_ranks.insert(rank).second) {
+      fail(file, where + " duplicates rank " + std::to_string(rank));
+      return;
+    }
+    if (!has_key(entry, "events") || !entry.find("events")->is_array()) {
+      fail(file, where + " missing array \"events\"");
+      return;
+    }
+    const json& events = *entry.find("events");
+    const std::uint64_t recorded = entry.find("recorded")->as_u64();
+    const std::uint64_t dropped = entry.find("dropped")->as_u64();
+    if (dropped > recorded || events.size() != recorded - dropped) {
+      fail(file, where + " events count != recorded - dropped");
+      return;
+    }
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const json& ev = events.at(i);
+      const std::string ev_where = where + ".events[" + std::to_string(i) + "]";
+      if (!has_key(ev, "ts_us") || !ev.find("ts_us")->is_number()) {
+        fail(file, ev_where + " missing numeric \"ts_us\"");
+        return;
+      }
+      if (!has_key(ev, "kind") || !ev.find("kind")->is_string()) {
+        fail(file, ev_where + " missing string \"kind\"");
+        return;
+      }
+      for (const char* key : {"a", "b"}) {
+        if (!has_key(ev, key) || !ev.find(key)->is_number()) {
+          fail(file, ev_where + " missing numeric \"" + key + "\"");
+          return;
+        }
+      }
+    }
   }
 }
 
 int usage() {
   std::cerr << "usage: sfg_report_check [--bench FILE]... [--report FILE]... "
-               "[--trace FILE]...\n";
+               "[--trace FILE]... [--flight FILE]...\n";
   return 2;
 }
 
@@ -182,6 +284,8 @@ int main(int argc, char** argv) {
       check_report(file);
     } else if (a == "--trace") {
       check_trace(file);
+    } else if (a == "--flight") {
+      check_flight(file);
     } else {
       return usage();
     }
