@@ -1,0 +1,96 @@
+/// \file micro_phase.cpp
+/// Phase-attribution and time-series gate microbenches.  phase_scope sits
+/// on the traversal poll loop, route_record and the page cache's I/O
+/// sections, so its *disabled* cost (metrics and sampling both off) is the
+/// number CI gates hardest: it must collapse to the phase_on() branch.
+/// The enabled cost (two clock reads + thread-local adds) and the nested
+/// case (self-time split across parent/child) are tracked so regressions
+/// in the accounting path show up too.  ts_poll's disabled gate rides
+/// along: it runs once per poll iteration in every traversal.
+#include <cstdint>
+
+#include "micro_harness.hpp"
+#include "obs/metrics.hpp"
+#include "obs/phase.hpp"
+#include "obs/timeseries.hpp"
+
+namespace {
+
+using namespace sfg;  // NOLINT: bench-local convenience
+
+constexpr int kBatch = 64;
+
+/// Both consumers off: a scope is two predictable branches, no clocks.
+void bench_scope_off(micro::suite& s) {
+  s.run("phase/scope/off", kBatch, [](std::uint64_t iters) {
+    obs::set_metrics_enabled(false);
+    obs::set_ts_interval_ms(0);
+    for (std::uint64_t it = 0; it < iters; ++it) {
+      for (int i = 0; i < kBatch; ++i) {
+        const obs::phase_scope ps(obs::phase::visit);
+      }
+    }
+    micro::keep(obs::phase_entries(obs::phase::visit));
+  });
+}
+
+/// Enabled steady state: enter + exit, two steady_clock reads and a
+/// handful of thread-local adds per scope.
+void bench_scope_on(micro::suite& s) {
+  s.run("phase/scope/on", kBatch, [](std::uint64_t iters) {
+    obs::set_metrics_enabled(true);
+    for (std::uint64_t it = 0; it < iters; ++it) {
+      for (int i = 0; i < kBatch; ++i) {
+        const obs::phase_scope ps(obs::phase::visit);
+      }
+    }
+    obs::set_metrics_enabled(false);
+    micro::keep(obs::phase_entries(obs::phase::visit));
+    obs::phase_clear_thread();
+  });
+}
+
+/// Nested pair (the scan-inside-visit shape from the poll loop): child
+/// wall time must be subtracted from the parent's self time.
+void bench_nested_on(micro::suite& s) {
+  s.run("phase/nested/on", kBatch, [](std::uint64_t iters) {
+    obs::set_metrics_enabled(true);
+    for (std::uint64_t it = 0; it < iters; ++it) {
+      for (int i = 0; i < kBatch; ++i) {
+        const obs::phase_scope outer(obs::phase::visit);
+        const obs::phase_scope inner(obs::phase::scan);
+      }
+    }
+    obs::set_metrics_enabled(false);
+    micro::keep(obs::phase_snapshot().total_ns());
+    obs::phase_clear_thread();
+  });
+}
+
+/// The sampler's per-poll-iteration gate with sampling off: one relaxed
+/// load + branch.
+void bench_ts_poll_off(micro::suite& s) {
+  s.run("ts/poll/off", kBatch, [](std::uint64_t iters) {
+    obs::set_ts_interval_ms(0);
+    for (std::uint64_t it = 0; it < iters; ++it) {
+      for (int i = 0; i < kBatch; ++i) {
+        obs::ts_poll();
+      }
+    }
+    micro::keep(obs::ts_samples_recorded());
+  });
+}
+
+}  // namespace
+
+int main() {
+  micro::suite s("micro_phase",
+                 "phase_scope cost (disabled gate, enabled steady state, "
+                 "nested accounting) and the ts_poll disabled gate "
+                 "(batches of 64)");
+  bench_scope_off(s);
+  bench_scope_on(s);
+  bench_nested_on(s);
+  bench_ts_poll_off(s);
+  return 0;
+}

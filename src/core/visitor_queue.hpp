@@ -36,7 +36,9 @@
 #include "mailbox/routed_mailbox.hpp"
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/phase.hpp"
 #include "obs/run_report.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/stats_fields.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_context.hpp"
@@ -83,6 +85,11 @@ struct traversal_stats {
   /// embedded whole (delta over the traversal, so reused queues report
   /// per-traversal numbers), instead of hand-copied fields.
   mailbox::routed_mailbox::mailbox_stats mailbox{};
+  /// Phase-attributed self time of this rank's poll loop (obs/phase.hpp):
+  /// where the traversal's wall clock actually went.  Folded from the
+  /// thread-local phase slots at do_traversal exit; empty unless metrics
+  /// or time-series sampling were on.
+  obs::phase_stats phase{};
 };
 
 }  // namespace sfg::core
@@ -101,7 +108,8 @@ struct sfg::obs::stats_traits<sfg::core::traversal_stats> {
       stats_field{"ghost_filtered", &S::ghost_filtered},
       stats_field{"pre_visit_rejected", &S::pre_visit_rejected},
       stats_field{"termination_waves", &S::termination_waves},
-      stats_field{"mailbox", &S::mailbox});
+      stats_field{"mailbox", &S::mailbox},
+      stats_field{"phase", &S::phase});
 };
 
 namespace sfg::core {
@@ -158,6 +166,12 @@ class visitor_queue {
     obs::trace_span tspan("traversal", "core");
     const auto wall_start = std::chrono::steady_clock::now();
     const mailbox::routed_mailbox::mailbox_stats mail_start = mailbox_.stats();
+    // Phase attribution (obs/phase.hpp): everything inside the poll loop
+    // runs under a per-iteration `idle` scope; the specific phases (poll,
+    // visit, mbox_*, term, scan, io_wait) nest inside it and subtract
+    // their wall time from its self time, so `idle` ends up meaning
+    // exactly "spinning without attributable work".
+    const obs::phase_stats phase_start = obs::phase_snapshot();
     runtime::tree_termination term(graph_->comm(), cfg_.control_tag);
     const bool chaos_on = cfg_.faults.enabled() && cfg_.faults.stall_prob > 0;
     util::chaos_stream chaos(cfg_.faults.seed,
@@ -178,89 +192,113 @@ class visitor_queue {
     // Live straggler gauges: this rank's queue depth, locally-known
     // in-flight records and termination epoch, refreshed every poll
     // iteration so the registry always shows who is dragging.  Handles are
-    // resolved once per traversal (registry lookup takes a mutex).
+    // resolved once per traversal (registry lookup takes a mutex).  The
+    // time-series sampler reads these too, so they update (via the ungated
+    // set_raw) whenever either consumer is on.
     obs::gauge* depth_gauge = nullptr;
     obs::gauge* inflight_gauge = nullptr;
     obs::gauge* epoch_gauge = nullptr;
-    if (obs::metrics_on()) {
+    obs::gauge* executed_gauge = nullptr;
+    if (obs::metrics_on() || obs::ts_on()) {
       auto& reg = obs::metrics_registry::instance();
       const std::string prefix =
           "traversal.rank" + std::to_string(graph_->rank());
       depth_gauge = &reg.get_gauge(prefix + ".queue_depth");
       inflight_gauge = &reg.get_gauge(prefix + ".inflight_records");
       epoch_gauge = &reg.get_gauge(prefix + ".term_epoch");
+      executed_gauge = &reg.get_gauge(prefix + ".visitors_executed");
     }
     std::uint64_t max_depth = 0;
     for (;;) {
-      // Injected rank stall: this rank sleeps mid-traversal while the
-      // others keep running — the adversarial scheduling that quiescence
-      // detection and replica forwarding must survive.
-      if (chaos_on && chaos.decide(cfg_.faults.stall_prob)) {
-        const auto stall = chaos.duration_up_to(cfg_.faults.max_stall);
-        obs::flight_record(
-            obs::flight_kind::fault_stall,
-            static_cast<std::uint64_t>(
-                std::chrono::duration_cast<std::chrono::microseconds>(stall)
-                    .count()));
-        std::this_thread::sleep_for(stall);
-      }
-      // Receive: control messages feed the detector, data packets feed
-      // the mailbox (which delivers local records and re-forwards
-      // in-transit ones).
-      runtime::message m;
-      while (c.try_recv(m)) {
-        if (m.tag == cfg_.control_tag) {
-          term.on_message(m);
-        } else {
-          mailbox_.process_packet(m, deliver);
+      bool done = false;
+      {
+        const obs::phase_scope iter_scope(obs::phase::idle);
+        // Injected rank stall: this rank sleeps mid-traversal while the
+        // others keep running — the adversarial scheduling that quiescence
+        // detection and replica forwarding must survive.
+        if (chaos_on && chaos.decide(cfg_.faults.stall_prob)) {
+          const auto stall = chaos.duration_up_to(cfg_.faults.max_stall);
+          obs::flight_record(
+              obs::flight_kind::fault_stall,
+              static_cast<std::uint64_t>(
+                  std::chrono::duration_cast<std::chrono::microseconds>(stall)
+                      .count()));
+          std::this_thread::sleep_for(stall);
         }
-      }
-      mailbox_.drain_local(deliver);
-      // Age clock for the adaptive flush: one tick per poll iteration, so
-      // sparse channels stop sitting on records for whole idle stretches.
-      mailbox_.tick();
+        {
+          // Receive: control messages feed the detector, data packets feed
+          // the mailbox (which delivers local records and re-forwards
+          // in-transit ones).
+          const obs::phase_scope poll_scope(obs::phase::poll);
+          runtime::message m;
+          while (c.try_recv(m)) {
+            if (m.tag == cfg_.control_tag) {
+              term.on_message(m);
+            } else {
+              mailbox_.process_packet(m, deliver);
+            }
+          }
+          mailbox_.drain_local(deliver);
+          // Age clock for the adaptive flush: one tick per poll iteration,
+          // so sparse channels stop sitting on records for idle stretches.
+          mailbox_.tick();
+        }
 
-      // Execute a bounded batch of local visitors, best-first.
-      int executed = 0;
-      for (; executed < cfg_.batch_size && !local_queue_.empty(); ++executed) {
-        const Visitor v = local_queue_.top();
-        local_queue_.pop();
-        const auto slot = graph_->slot_of(v.vertex);
-        assert(slot.has_value());  // only chain ranks ever enqueue locally
-        ++stats_.visitors_executed;
-        v.visit(*graph_, *slot, *state_, *this);
-      }
-      const std::uint64_t depth = local_queue_.size();
-      max_depth = std::max(max_depth, depth);
-      if (executed > 0) {
-        obs::flight_record(obs::flight_kind::queue_batch,
-                           static_cast<std::uint64_t>(executed), depth);
-      }
-      if (depth_gauge != nullptr) {
-        const auto& ms = mailbox_.stats();
-        depth_gauge->set(static_cast<double>(depth));
-        // Signed: a net-receiver rank delivers more than it sends, so the
-        // locally-known balance can legitimately go negative.
-        inflight_gauge->set(static_cast<double>(
-            static_cast<std::int64_t>(ms.records_sent) -
-            static_cast<std::int64_t>(ms.records_delivered)));
-        epoch_gauge->set(static_cast<double>(term.waves_completed()));
-      }
+        // Execute a bounded batch of local visitors, best-first.  One
+        // phase scope per batch (not per visitor) keeps the enabled cost
+        // off the per-visitor path; adjacency scans and mailbox packing
+        // triggered by visit() nest out into their own phases.
+        int executed = 0;
+        {
+          const obs::phase_scope visit_scope(obs::phase::visit);
+          for (; executed < cfg_.batch_size && !local_queue_.empty();
+               ++executed) {
+            const Visitor v = local_queue_.top();
+            local_queue_.pop();
+            const auto slot = graph_->slot_of(v.vertex);
+            assert(slot.has_value());  // only chain ranks enqueue locally
+            ++stats_.visitors_executed;
+            v.visit(*graph_, *slot, *state_, *this);
+          }
+        }
+        const std::uint64_t depth = local_queue_.size();
+        max_depth = std::max(max_depth, depth);
+        if (executed > 0) {
+          obs::flight_record(obs::flight_kind::queue_batch,
+                             static_cast<std::uint64_t>(executed), depth);
+        }
+        if (depth_gauge != nullptr) {
+          const auto& ms = mailbox_.stats();
+          depth_gauge->set_raw(static_cast<double>(depth));
+          // Signed: a net-receiver rank delivers more than it sends, so
+          // the locally-known balance can legitimately go negative.
+          inflight_gauge->set_raw(static_cast<double>(
+              static_cast<std::int64_t>(ms.records_sent) -
+              static_cast<std::int64_t>(ms.records_delivered)));
+          epoch_gauge->set_raw(static_cast<double>(term.waves_completed()));
+          executed_gauge->set_raw(
+              static_cast<double>(stats_.visitors_executed));
+        }
 
-      // Idle only once everything buffered has been pushed out.
-      if (local_queue_.empty()) mailbox_.flush();
-      const bool idle = local_queue_.empty() && mailbox_.idle() &&
-                        c.inbox_empty();
-      if (term.poll(mailbox_.stats().records_sent,
-                    mailbox_.stats().records_delivered, idle)) {
-        break;
+        // Idle only once everything buffered has been pushed out.
+        if (local_queue_.empty()) mailbox_.flush();
+        const bool idle = local_queue_.empty() && mailbox_.idle() &&
+                          c.inbox_empty();
+        done = term.poll(mailbox_.stats().records_sent,
+                         mailbox_.stats().records_delivered, idle);
       }
+      // Outside the phase scopes: the sampler reads closed-scope self
+      // times, so sampling here sees this iteration fully attributed.
+      obs::ts_poll();
+      if (done) break;
     }
     // Accumulate (never overwrite): every stats_ field stays monotonic
     // across traversals, which publish_metrics' delta logic relies on.
     stats_.termination_waves += term.waves_completed();
     obs::stats_add(stats_.mailbox,
                    obs::stats_delta(mailbox_.stats(), mail_start));
+    obs::stats_add(stats_.phase,
+                   obs::stats_delta(obs::phase_snapshot(), phase_start));
     last_wall_us_ = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - wall_start)
@@ -270,6 +308,9 @@ class visitor_queue {
                        stats_.visitors_executed, last_wall_us_);
     tspan.set_arg("executed", static_cast<double>(stats_.visitors_executed));
     publish_metrics();
+    // Force a final time-series sample so a traversal shorter than
+    // SFG_TS_INTERVAL_MS still leaves at least one line per rank.
+    obs::ts_flush();
     maybe_write_run_report(c);
     // Epoch boundary: without this, a fast rank could start a *new*
     // traversal and its records would land in a slow rank's still-running
@@ -300,7 +341,9 @@ class visitor_queue {
   /// the delta since the last publish is added, so counters stay exact
   /// when one queue runs several traversals.
   void publish_metrics() {
-    if (!obs::metrics_on()) return;
+    // Runs for the sampler too: the time-series "totals" come from these
+    // registry counters, so a TS-only run still needs the fold.
+    if (!obs::metrics_on() && !obs::ts_on()) return;
     obs::stats_to_registry("traversal", obs::stats_delta(stats_, published_));
     published_ = stats_;
     // Every rank contributes its wall time, so the registry histogram's

@@ -23,6 +23,7 @@
 #include "graph/edge_storage.hpp"
 #include "graph/vertex_locator.hpp"
 #include "graph/vertex_state.hpp"
+#include "obs/phase.hpp"
 #include "runtime/comm.hpp"
 
 namespace sfg::graph {
@@ -118,9 +119,13 @@ class distributed_graph {
   }
 
   /// Visit each target locator of slot `s`'s local adjacency slice.
+  /// Phase attribution: the whole row walk is `scan`; work the callback
+  /// triggers (mailbox packing, page-cache I/O) nests out into its own
+  /// phase, so scan self-time is pure adjacency traversal.
   template <typename Fn>
   void for_each_out_edge(std::size_t s, Fn&& fn) const {
     if (s >= bp_.num_sources) return;
+    const obs::phase_scope pscope(obs::phase::scan);
     store_.for_each(bp_.csr_offsets[s], bp_.csr_offsets[s + 1],
                     [&fn](std::uint64_t bits) {
                       fn(vertex_locator::from_bits(bits));
@@ -133,6 +138,7 @@ class distributed_graph {
   template <typename Fn>
   void for_each_out_edge_weighted(std::size_t s, Fn&& fn) const {
     if (s >= bp_.num_sources) return;
+    const obs::phase_scope pscope(obs::phase::scan);
     assert(!bp_.adj_weight.empty());
     std::size_t i = bp_.csr_offsets[s];
     store_.for_each(bp_.csr_offsets[s], bp_.csr_offsets[s + 1],

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "obs/metrics.hpp"
+#include "obs/phase.hpp"
 #include "obs/trace.hpp"
 
 namespace sfg::mailbox {
@@ -29,6 +30,7 @@ routed_mailbox::routed_mailbox(runtime::comm& c, config cfg)
 void routed_mailbox::flush_channel(int next_hop, flush_reason why) {
   auto& ch = channels_[static_cast<std::size_t>(next_hop)];
   if (ch.buf.empty()) return;
+  const obs::phase_scope pscope(obs::phase::mbox_flush);
   obs::trace_span span("mailbox.flush", "mailbox");
   span.set_arg("bytes", static_cast<double>(ch.buf.size()));
   const packet_header ph{next_packet_seq_[static_cast<std::size_t>(next_hop)]++};
@@ -59,7 +61,9 @@ void routed_mailbox::flush_channel(int next_hop, flush_reason why) {
   --dirty_count_;
   obs::flight_record(obs::flight_kind::mbox_flush, sent_bytes,
                      static_cast<std::uint64_t>(next_hop));
-  if (obs::metrics_on()) {
+  // The time-series sampler diffs these registry counters, so they stay
+  // live when only SFG_TS_INTERVAL_MS is set (hence the widened gate).
+  if (obs::metrics_on() || obs::ts_on()) {
     auto& reg = obs::metrics_registry::instance();
     reg.get_counter("mailbox.packets_sent").add_raw(1);
     reg.get_counter("mailbox.packet_bytes_sent").add_raw(sent_bytes);
@@ -148,7 +152,7 @@ void routed_mailbox::note_duplicate_packet(int source, std::uint64_t seq) {
                      static_cast<double>(seq));
   obs::flight_record(obs::flight_kind::mbox_dup_drop,
                      static_cast<std::uint64_t>(source), seq);
-  if (obs::metrics_on()) {
+  if (obs::metrics_on() || obs::ts_on()) {
     obs::metrics_registry::instance()
         .get_counter("mailbox.packets_dropped_duplicate")
         .add_raw(1);

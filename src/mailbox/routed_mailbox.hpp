@@ -46,6 +46,7 @@
 #include "mailbox/seq_window.hpp"
 #include "mailbox/topology.hpp"
 #include "obs/flight.hpp"
+#include "obs/phase.hpp"
 #include "obs/stats_fields.hpp"
 #include "obs/trace_context.hpp"
 #include "runtime/comm.hpp"
@@ -239,6 +240,9 @@ inline void routed_mailbox::send(int final_dest,
 inline void routed_mailbox::route_record(std::uint16_t origin, int final_dest,
                                          std::span<const std::byte> record,
                                          obs::trace_ctx ctx) {
+  // Phase attribution: framing + arena appends are `mbox_pack`; a
+  // watermark-triggered flush below nests out into `mbox_flush`.
+  const obs::phase_scope pscope(obs::phase::mbox_pack);
   assert(final_dest >= 0 && final_dest < comm_->size());
   assert(record.size() <= kRecSizeMask);
   const std::uint32_t size_field =

@@ -46,6 +46,13 @@ obs_toggles::obs_toggles() {
     const long n = std::strtol(env, nullptr, 10);
     if (n > 0) sample.store(static_cast<std::uint32_t>(n), std::memory_order_relaxed);
   }
+  // The interval itself (and SFG_TS_DIR) is parsed lazily by the sampler
+  // (timeseries.cpp); only the cheap gate bit lives here with its peers.
+  if (const char* env = std::getenv("SFG_TS_INTERVAL_MS");
+      env != nullptr && *env != '\0') {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n > 0) timeseries.store(true, std::memory_order_relaxed);
+  }
 }
 
 obs_toggles& toggles() {

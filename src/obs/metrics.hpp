@@ -21,6 +21,9 @@
 ///   SFG_TRACE_SAMPLE=<n>    sample 1-in-n visitor pushes with a causal trace
 ///                           context that follows the visitor across ranks
 ///                           (trace_context.hpp); 0/unset disables sampling
+///   SFG_TS_INTERVAL_MS=<n>  enable live time-series sampling every n ms
+///                           (timeseries.hpp); 0/unset disables
+///   SFG_TS_DIR=<dir>        per-rank sfg-timeseries/1 JSONL output dir
 #pragma once
 
 #include <atomic>
@@ -43,6 +46,8 @@ struct obs_toggles {
   obs_toggles();
   std::atomic<bool> metrics{false};
   std::atomic<bool> trace{false};
+  /// Live time-series sampling (SFG_TS_INTERVAL_MS > 0, timeseries.hpp).
+  std::atomic<bool> timeseries{false};
   /// Visitor causal-sampling rate: sample 1-in-`sample` pushes; 0 = off.
   std::atomic<std::uint32_t> sample{0};
 };
@@ -54,6 +59,20 @@ obs_toggles& toggles();
 /// The cached-bool gate: one relaxed load, one predictable branch.
 [[nodiscard]] inline bool metrics_on() noexcept {
   return detail::toggles().metrics.load(std::memory_order_relaxed);
+}
+
+/// The time-series sampler's gate (ts_poll in timeseries.hpp): one relaxed
+/// load, one predictable branch while sampling is off.
+[[nodiscard]] inline bool ts_on() noexcept {
+  return detail::toggles().timeseries.load(std::memory_order_relaxed);
+}
+
+/// Phase-attribution gate (phase.hpp): phase timers feed both the
+/// end-of-traversal registry fold (metrics) and the live sampler
+/// (timeseries), so they run whenever either consumer is on.  Two relaxed
+/// loads, still one predictable branch in the common all-off case.
+[[nodiscard]] inline bool phase_on() noexcept {
+  return metrics_on() || ts_on();
 }
 
 /// Programmatic override (benches/CLI/tests); the env var is only the
@@ -91,6 +110,10 @@ class gauge {
   void set(double v) noexcept {
     if (metrics_on()) v_.store(v, std::memory_order_relaxed);
   }
+  /// Ungated set, for sites that already checked their own gate (e.g. the
+  /// visitor queue's live gauges, which must update when either metrics or
+  /// the time-series sampler is consuming them).
+  void set_raw(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
   [[nodiscard]] double value() const noexcept {
     return v_.load(std::memory_order_relaxed);
   }

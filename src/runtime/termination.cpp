@@ -6,6 +6,7 @@
 
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/phase.hpp"
 
 namespace sfg::runtime {
 
@@ -48,6 +49,9 @@ void tree_termination::begin_wave(std::uint32_t wave) {
 }
 
 void tree_termination::on_message(const message& m) {
+  // Control-message handling is `term` time even when it arrives through
+  // the poll phase's recv loop (the scope nests out of `poll`).
+  const obs::phase_scope pscope(obs::phase::term);
   assert(m.tag == tag_);
   const auto cm = m.as<control_msg>();
   switch (cm.kind) {
@@ -157,6 +161,7 @@ void tree_termination::flood_done() {
 bool tree_termination::poll(std::uint64_t local_sent, std::uint64_t local_recv,
                             bool locally_idle) {
   if (finished_) return true;
+  const obs::phase_scope pscope(obs::phase::term);
   if (comm_->rank() == 0 && current_wave_ == 0) {
     begin_wave(1);
   }
@@ -179,6 +184,7 @@ safra_termination::safra_termination(comm& c, int control_tag)
 }
 
 void safra_termination::on_message(const message& m) {
+  const obs::phase_scope pscope(obs::phase::term);
   assert(m.tag == tag_);
   const auto tm = m.as<token_msg>();
   if (tm.kind == msg_kind::done) {
@@ -224,6 +230,7 @@ void safra_termination::forward_token(std::uint64_t local_sent,
 bool safra_termination::poll(std::uint64_t local_sent,
                              std::uint64_t local_recv, bool locally_idle) {
   if (finished_) return true;
+  const obs::phase_scope pscope(obs::phase::term);
 
   // Receiving any work since the last poll taints this rank black
   // (Safra: "on receipt of a basic message, machine becomes black").

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/phase.hpp"
 #include "obs/trace.hpp"
 
 namespace sfg::storage {
@@ -124,7 +125,10 @@ page_cache::page_ref page_cache::get(std::uint64_t page_id) {
       ++f.pins;
       f.referenced = true;
       ++stats_.hits;
-      m_hits_.add(1);
+      // Widened gate (not counter::add): the time-series sampler diffs
+      // cache.* registry counters, so they must tick when only
+      // SFG_TS_INTERVAL_MS is set.
+      if (obs::metrics_on() || obs::ts_on()) m_hits_.add_raw(1);
       return page_ref(this, it->second, page_id);
     }
 
@@ -147,6 +151,9 @@ page_cache::page_ref page_cache::get(std::uint64_t page_id) {
       std::vector<std::byte> copy = f.data;
       const auto io_delay = draw_io_delay_locked();
       {
+        // io_wait phase: only the unlocked device time counts — lock
+        // contention stays attributed to whatever phase the caller is in.
+        const obs::phase_scope pscope(obs::phase::io_wait);
         obs::trace_span span("cache.writeback", "storage");
         span.set_arg("bytes", static_cast<double>(copy.size()));
         lock.unlock();
@@ -156,7 +163,7 @@ page_cache::page_ref page_cache::get(std::uint64_t page_id) {
       }
       f.loading = false;
       ++stats_.writebacks;
-      m_writebacks_.add(1);
+      if (obs::metrics_on() || obs::ts_on()) m_writebacks_.add_raw(1);
       cv_.notify_all();
       continue;  // state changed while unlocked; restart the search
     }
@@ -166,7 +173,7 @@ page_cache::page_ref page_cache::get(std::uint64_t page_id) {
                          static_cast<double>(f.page_id));
       page_to_frame_.erase(f.page_id);
       ++stats_.evictions;
-      m_evictions_.add(1);
+      if (obs::metrics_on() || obs::ts_on()) m_evictions_.add_raw(1);
     }
 
     // Claim the frame and fault the page in with the lock released, so
@@ -180,9 +187,10 @@ page_cache::page_ref page_cache::get(std::uint64_t page_id) {
     f.data.assign(cfg_.page_size, std::byte{0});
     page_to_frame_[page_id] = v;
     ++stats_.misses;
-    m_misses_.add(1);
+    if (obs::metrics_on() || obs::ts_on()) m_misses_.add_raw(1);
     const auto io_delay = draw_io_delay_locked();
     {
+      const obs::phase_scope pscope(obs::phase::io_wait);
       obs::trace_span span("cache.miss_fill", "storage");
       span.set_arg("page", static_cast<double>(page_id));
       lock.unlock();
@@ -224,6 +232,7 @@ void page_cache::flush_dirty() {
     std::vector<std::byte> copy = f.data;
     const auto io_delay = draw_io_delay_locked();
     {
+      const obs::phase_scope pscope(obs::phase::io_wait);
       obs::trace_span span("cache.writeback", "storage");
       span.set_arg("bytes", static_cast<double>(copy.size()));
       lock.unlock();
@@ -233,7 +242,7 @@ void page_cache::flush_dirty() {
     }
     f.loading = false;
     ++stats_.writebacks;
-    m_writebacks_.add(1);
+    if (obs::metrics_on() || obs::ts_on()) m_writebacks_.add_raw(1);
     cv_.notify_all();
   }
 }
@@ -244,6 +253,13 @@ page_cache::cache_stats page_cache::stats() const {
 }
 
 void page_cache::reset_stats() {
+  // Intentionally local: only this cache's stats_ snapshot is zeroed.  The
+  // cache.* registry counters are *process-wide monotonic* — shared by
+  // every page_cache in the process and diffed by the time-series sampler
+  // and report tooling, so resetting them here would corrupt other caches'
+  // numbers and break rate computation.  Consumers wanting a window over
+  // the registry take their own before/after deltas
+  // (tests/storage/page_cache_test.cpp pins this contract).
   const std::scoped_lock lock(mu_);
   stats_ = cache_stats{};
 }

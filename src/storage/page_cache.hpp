@@ -106,6 +106,10 @@ class page_cache {
     std::uint64_t fault_io_delays = 0;  ///< device I/Os artificially delayed
   };
   [[nodiscard]] cache_stats stats() const;
+  /// Zero this cache's stats_ snapshot only.  The cache.* registry
+  /// counters deliberately keep counting: they are process-wide and
+  /// monotonic (shared across caches, diffed into rates by the
+  /// time-series sampler), so a per-instance reset must not touch them.
   void reset_stats();
 
  private:
@@ -149,7 +153,9 @@ class page_cache {
   bool faults_on_ = false;
   util::chaos_stream fault_stream_;  // guarded by mu_
   /// Process-wide registry counters (handles cached at construction; each
-  /// add is one metrics_on() branch when the registry is disabled).
+  /// add is one metrics_on()/ts_on() branch when both consumers are off).
+  /// Monotonic across *all* caches and never cleared by reset_stats() —
+  /// see the reset_stats() contract above.
   obs::counter& m_hits_;
   obs::counter& m_misses_;
   obs::counter& m_evictions_;

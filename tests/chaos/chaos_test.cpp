@@ -7,7 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdint>
+#include <filesystem>
 #include <map>
 #include <set>
 #include <string>
@@ -21,6 +24,7 @@
 #include "core/triangles.hpp"
 #include "gen/generators.hpp"
 #include "graph/distributed_graph.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_context.hpp"
 #include "reference/serial_graph.hpp"
@@ -289,6 +293,51 @@ TEST(Chaos, TraceChainSurvivesFaults) {
   }
   EXPECT_TRUE(cross_rank_chain)
       << "no sampled chain crossed a rank boundary";
+}
+
+TEST(Chaos, TimeSeriesSurvivesFaults) {
+  // Acceptance gate for the sampler: a faulty 4-rank BFS sweep (delays,
+  // duplicates, reordering, stalls) must still leave one well-formed
+  // `sfg-timeseries/1` JSONL stream per rank — monotonic seq/ts_us, phase
+  // fractions that sum to at most 1, non-negative rates.  This is the
+  // same validator that `sfg_report_check --timeseries` runs in CI, so
+  // the rules cannot drift between tests and tooling.
+  namespace fs = std::filesystem;
+  const auto rc = small_rmat(8);
+  const auto edges = gen::rmat_slice(rc, 0, rc.num_edges());
+
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("sfg_ts_chaos_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  const std::uint32_t saved_interval = obs::ts_interval_ms();
+  obs::set_ts_dir(dir.string());
+  obs::set_ts_interval_ms(1);  // sample aggressively during the sweep
+
+  run_sweep({.ranks = 4, .num_seeds = 4, .base_seed = 0x75'0BED},
+            [&](comm& c, const schedule& s) {
+              auto mine = slice_edges(edges, c.rank(), c.size());
+              auto g = build_in_memory_graph(c, mine, {.num_ghosts = 32});
+              auto result =
+                  core::run_bfs(g, g.locate(edges.front().src), s.queue);
+              (void)result;
+            });
+
+  obs::set_ts_interval_ms(0);
+  for (int r = 0; r < 4; ++r) {
+    const std::string path =
+        (dir / ("sfg_ts_rank" + std::to_string(r) + ".jsonl")).string();
+    ASSERT_TRUE(fs::exists(path)) << path;
+    std::vector<std::string> errors;
+    EXPECT_TRUE(obs::ts_validate_file(path, &errors))
+        << path << ": " << (errors.empty() ? "?" : errors.front());
+  }
+
+  obs::ts_clear();
+  obs::set_ts_dir(".");
+  obs::set_ts_interval_ms(saved_interval);
+  std::error_code ec;
+  fs::remove_all(dir, ec);
 }
 
 TEST(Chaos, ScheduleDerivationIsDeterministic) {

@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "obs/flight.hpp"
+#include "obs/phase.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_context.hpp"
 
@@ -261,6 +263,35 @@ TEST(Metrics, DisabledFlightAndSamplingDoNotAllocate) {
   EXPECT_EQ(after - before, 0u)
       << "disabled flight recorder and trace sampling must not allocate";
   set_flight_enabled(saved_flight);
+}
+
+TEST(Metrics, DisabledPhaseAndTimeseriesDoNotAllocate) {
+  // phase_scope wraps the poll loop, route_record and the page cache's
+  // I/O sections; ts_poll runs once per poll iteration.  With metrics and
+  // SFG_TS_INTERVAL_MS both off they must cost one branch each — no clock
+  // reads, no allocation, no thread-local accounting.
+  toggle_guard guard;
+  const std::uint32_t saved_interval = ts_interval_ms();
+  set_metrics_enabled(false);
+  set_ts_interval_ms(0);  // clears the ts toggle and any live samplers
+
+  const std::uint64_t entries_before = phase_entries(phase::visit);
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 10'000; ++i) {
+    { const phase_scope ps(phase::visit); }
+    {
+      const phase_scope outer(phase::poll);
+      const phase_scope inner(phase::term);
+    }
+    ts_poll();
+  }
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "disabled phase scopes and ts_poll must not allocate";
+  EXPECT_EQ(phase_entries(phase::visit), entries_before)
+      << "disabled phase scopes must not record entries";
+  EXPECT_EQ(ts_samples_recorded(), 0u);
+  set_ts_interval_ms(saved_interval);
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace sfg::storage {
@@ -216,6 +217,60 @@ TEST(PageCache, RejectsZeroConfig) {
   memory_device dev;
   EXPECT_THROW(page_cache(dev, {0, 4}), std::invalid_argument);
   EXPECT_THROW(page_cache(dev, {kPage, 0}), std::invalid_argument);
+}
+
+TEST(PageCache, RegistryDeltasMatchLocalStatsAndSurviveReset) {
+  // Pins the intended split between the two stat surfaces: cache_stats is
+  // per-instance and resettable; the cache.* registry counters are
+  // process-wide monotonic (shared by every cache, diffed into rates by
+  // the time-series sampler).  Over a window of operations the registry
+  // deltas must equal the cache_stats deltas, and reset_stats() must
+  // clear only the local side.
+  const bool saved = obs::metrics_on();
+  obs::set_metrics_enabled(true);
+  auto& reg = obs::metrics_registry::instance();
+  auto& r_hits = reg.get_counter("cache.hits");
+  auto& r_misses = reg.get_counter("cache.misses");
+  auto& r_wb = reg.get_counter("cache.writebacks");
+
+  memory_device dev;
+  fill_device(dev, 8);
+  page_cache cache(dev, {kPage, 2});
+  const std::uint64_t hits0 = r_hits.value();
+  const std::uint64_t misses0 = r_misses.value();
+  const std::uint64_t wb0 = r_wb.value();
+
+  for (int round = 0; round < 2; ++round) {
+    for (std::size_t p = 0; p < 4; ++p) {
+      auto ref = cache.get(p);           // misses + evictions under pressure
+      ref.mutable_data()[0] = std::byte{0xAB};  // dirty -> writebacks
+    }
+    cache.get(3);  // immediate re-get: a hit
+  }
+  cache.flush_dirty();
+
+  const auto local = cache.stats();
+  EXPECT_EQ(r_hits.value() - hits0, local.hits);
+  EXPECT_EQ(r_misses.value() - misses0, local.misses);
+  EXPECT_EQ(r_wb.value() - wb0, local.writebacks);
+  EXPECT_GT(local.misses, 0u);
+  EXPECT_GT(local.writebacks, 0u);
+
+  // reset_stats() zeroes only the instance snapshot; the process-wide
+  // registry keeps counting from where it was.
+  const std::uint64_t misses_before_reset = r_misses.value();
+  cache.reset_stats();
+  EXPECT_EQ(cache.stats().misses, 0u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(r_misses.value(), misses_before_reset)
+      << "reset_stats() must not touch the shared registry counters";
+  // And the next window diffs cleanly on both surfaces.
+  const std::uint64_t hits1 = r_hits.value();
+  cache.get(3);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(r_hits.value() - hits1, 1u);
+
+  obs::set_metrics_enabled(saved);
 }
 
 }  // namespace

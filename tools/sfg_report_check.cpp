@@ -4,7 +4,7 @@
 /// broken artifacts.
 ///
 ///   sfg_report_check [--bench FILE]... [--report FILE]... [--trace FILE]...
-///                    [--flight FILE]...
+///                    [--flight FILE]... [--timeseries FILE]...
 ///
 ///   --bench   BENCH_*.json from bench/bench_common.hpp's reporter:
 ///             run-report schema + bench section (wall_time_s, tables)
@@ -16,6 +16,10 @@
 ///             complete sampled visitor chain.
 ///   --flight  flight-recorder dump (sfg-flight/1, from SFG_FLIGHT_DUMP /
 ///             the chaos harness / a rank fault)
+///   --timeseries  per-rank sfg-timeseries/1 JSONL from SFG_TS_INTERVAL_MS
+///             (obs/timeseries.hpp): schema tags, strictly monotonic
+///             seq/ts_us, non-negative rates, phase fractions summing to
+///             at most 1, and at least one sample
 ///
 /// Exit status: 0 if every file validates, 1 otherwise (with one line per
 /// problem on stderr).
@@ -29,6 +33,7 @@
 #include <vector>
 
 #include "obs/json.hpp"
+#include "obs/timeseries.hpp"
 
 namespace {
 
@@ -263,9 +268,19 @@ void check_flight(const std::string& file) {
   }
 }
 
+void check_timeseries(const std::string& file) {
+  // The line-level rules live next to the producer (obs/timeseries.cpp),
+  // so the chaos test and this tool can never drift apart.
+  std::vector<std::string> errors;
+  if (!sfg::obs::ts_validate_file(file, &errors)) {
+    for (const std::string& e : errors) fail(file, e);
+    if (errors.empty()) fail(file, "invalid time-series file");
+  }
+}
+
 int usage() {
   std::cerr << "usage: sfg_report_check [--bench FILE]... [--report FILE]... "
-               "[--trace FILE]... [--flight FILE]...\n";
+               "[--trace FILE]... [--flight FILE]... [--timeseries FILE]...\n";
   return 2;
 }
 
@@ -286,6 +301,8 @@ int main(int argc, char** argv) {
       check_trace(file);
     } else if (a == "--flight") {
       check_flight(file);
+    } else if (a == "--timeseries") {
+      check_timeseries(file);
     } else {
       return usage();
     }

@@ -1,0 +1,312 @@
+/// \file sfg_top.cpp
+/// Terminal monitor for a running traversal — `top` for the visitor
+/// queue.  Tails the per-rank sfg-timeseries/1 JSONL files that
+/// SFG_TS_INTERVAL_MS / SFG_TS_DIR produce (obs/timeseries.hpp) and
+/// renders, per refresh:
+///
+///   - traversal progress: visitors executed + execution rate, summed and
+///     per rank
+///   - per-rank queue depth, locally-known in-flight balance, termination
+///     epoch and a phase-breakdown bar (where each rank's poll loop is
+///     spending its time: visit/scan/pack/flush/poll/term/io/idle)
+///   - mailbox and page-cache rates from the process-wide counters
+///   - straggler highlighting: a rank whose queue depth or execution rate
+///     is far from the median is marked `*` and listed in the footer
+///
+///   sfg_top [--dir DIR] [--interval MS] [--once]
+///
+///     --dir DIR       directory with sfg_ts_rank<r>.jsonl files
+///                     (default: $SFG_TS_DIR, else ".")
+///     --interval MS   refresh period in live mode (default 500)
+///     --once          render one snapshot without clearing the screen and
+///                     exit — 0 if at least one rank had a valid sample,
+///                     1 otherwise (CI smoke uses this)
+///
+/// Live mode re-reads the (small, line-per-sample) files each refresh and
+/// redraws with ANSI clear; stop with Ctrl-C.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using sfg::obs::json;
+
+/// One rank's most recent sample, flattened for rendering.
+struct rank_row {
+  int rank = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t ts_us = 0;
+  double queue_depth = 0;
+  double inflight = 0;
+  double epoch = 0;
+  double executed = 0;
+  double executed_rate = 0;
+  // Phase fractions in enum order (phase.hpp): visit, scan, mbox_pack,
+  // mbox_flush, poll, term, io_wait, idle.
+  double phase[8] = {};
+  // Process-wide rates/totals as seen at this rank's sample time.
+  double pkt_rate = 0;
+  double byte_rate = 0;
+  double hit_rate = 0;
+  double miss_rate = 0;
+  double wb_rate = 0;
+  std::uint64_t total_executed = 0;
+  bool straggler = false;
+};
+
+constexpr const char* kPhaseKeys[8] = {"visit",     "scan", "mbox_pack",
+                                       "mbox_flush", "poll", "term",
+                                       "io_wait",    "idle"};
+constexpr char kPhaseGlyph[8] = {'V', 'S', 'K', 'F', 'P', 'T', 'I', '.'};
+
+double num_or(const json& obj, const char* key, double fallback) {
+  const json* v = obj.find(key);
+  return (v != nullptr && v->is_number()) ? v->as_double() : fallback;
+}
+
+/// Parse the last valid line of one rank file.
+std::optional<rank_row> read_rank_file(const std::filesystem::path& p,
+                                       int rank) {
+  std::ifstream in(p);
+  if (!in) return std::nullopt;
+  std::string line;
+  std::optional<json> last;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto parsed = json::parse(line);
+    if (parsed && parsed->is_object()) last = std::move(*parsed);
+  }
+  if (!last) return std::nullopt;
+  const json* schema = last->find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "sfg-timeseries/1") {
+    return std::nullopt;
+  }
+  rank_row r;
+  r.rank = rank;
+  r.seq = static_cast<std::uint64_t>(num_or(*last, "seq", 0));
+  r.ts_us = static_cast<std::uint64_t>(num_or(*last, "ts_us", 0));
+  if (const json* g = last->find("gauges"); g != nullptr && g->is_object()) {
+    r.queue_depth = num_or(*g, "queue_depth", 0);
+    r.inflight = num_or(*g, "inflight_records", 0);
+    r.epoch = num_or(*g, "term_epoch", 0);
+    r.executed = num_or(*g, "visitors_executed", 0);
+    r.executed_rate = num_or(*g, "executed_rate", 0);
+  }
+  if (const json* ph = last->find("phase"); ph != nullptr && ph->is_object()) {
+    for (int i = 0; i < 8; ++i) r.phase[i] = num_or(*ph, kPhaseKeys[i], 0);
+  }
+  if (const json* ra = last->find("rates"); ra != nullptr && ra->is_object()) {
+    r.pkt_rate = num_or(*ra, "packets_sent", 0);
+    r.byte_rate = num_or(*ra, "packet_bytes_sent", 0);
+    r.hit_rate = num_or(*ra, "cache_hits", 0);
+    r.miss_rate = num_or(*ra, "cache_misses", 0);
+    r.wb_rate = num_or(*ra, "cache_writebacks", 0);
+  }
+  if (const json* to = last->find("totals"); to != nullptr && to->is_object()) {
+    r.total_executed =
+        static_cast<std::uint64_t>(num_or(*to, "visitors_executed", 0));
+  }
+  return r;
+}
+
+/// Scan the directory for sfg_ts_rank<r>.jsonl files.
+std::vector<rank_row> collect(const std::string& dir) {
+  std::vector<rank_row> rows;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    constexpr std::string_view prefix = "sfg_ts_rank";
+    constexpr std::string_view suffix = ".jsonl";
+    if (name.size() <= prefix.size() + suffix.size()) continue;
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0)
+      continue;
+    const std::string mid =
+        name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+    char* end = nullptr;
+    const long rank = std::strtol(mid.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') continue;
+    if (auto row = read_rank_file(entry.path(), static_cast<int>(rank))) {
+      rows.push_back(*row);
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const rank_row& a, const rank_row& b) { return a.rank < b.rank; });
+  return rows;
+}
+
+double median_of(std::vector<double> v) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+/// Mark ranks that are far off the median: queue depth piling up (> 4x
+/// median and non-trivial) or execution rate collapsed (< half median
+/// while peers are making progress).
+void mark_stragglers(std::vector<rank_row>& rows) {
+  if (rows.size() < 2) return;
+  std::vector<double> depths;
+  std::vector<double> rates;
+  for (const auto& r : rows) {
+    depths.push_back(r.queue_depth);
+    rates.push_back(r.executed_rate);
+  }
+  const double med_depth = median_of(depths);
+  const double med_rate = median_of(rates);
+  for (auto& r : rows) {
+    const bool deep =
+        r.queue_depth > 64 && r.queue_depth > 4 * std::max(med_depth, 1.0);
+    const bool slow = med_rate > 0 && r.executed_rate < 0.5 * med_rate;
+    r.straggler = deep || slow;
+  }
+}
+
+std::string phase_bar(const double frac[8], int width) {
+  std::string bar;
+  bar.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < 8; ++i) {
+    const int cells =
+        static_cast<int>(frac[i] * width + 0.5);
+    for (int c = 0; c < cells && static_cast<int>(bar.size()) < width; ++c) {
+      bar += kPhaseGlyph[i];
+    }
+  }
+  while (static_cast<int>(bar.size()) < width) bar += ' ';  // unattributed
+  return bar;
+}
+
+std::string human_rate(double v) {
+  char buf[32];
+  if (v >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.1fG", v / 1e9);
+  } else if (v >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.1fM", v / 1e6);
+  } else if (v >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.1fk", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  }
+  return buf;
+}
+
+void render(const std::vector<rank_row>& rows, const std::string& dir) {
+  std::uint64_t total_exec = 0;
+  double exec_rate = 0;
+  double pkt = 0;
+  double bytes = 0;
+  double hits = 0;
+  double misses = 0;
+  double wbs = 0;
+  std::uint64_t max_seq = 0;
+  for (const auto& r : rows) {
+    total_exec += static_cast<std::uint64_t>(r.executed);
+    exec_rate += r.executed_rate;
+    max_seq = std::max(max_seq, r.seq);
+    // Process-wide rates are identical modulo sampling skew; take the max
+    // so one stalled rank's old sample doesn't zero the display.
+    pkt = std::max(pkt, r.pkt_rate);
+    bytes = std::max(bytes, r.byte_rate);
+    hits = std::max(hits, r.hit_rate);
+    misses = std::max(misses, r.miss_rate);
+    wbs = std::max(wbs, r.wb_rate);
+  }
+  std::printf("sfg_top — %zu rank(s), dir %s, sample seq %llu\n", rows.size(),
+              dir.c_str(), static_cast<unsigned long long>(max_seq));
+  std::printf(
+      "progress: %llu visitors executed, %s/s | mailbox %s pkt/s %sB/s | "
+      "cache %s hit/s %s miss/s %s wb/s\n",
+      static_cast<unsigned long long>(total_exec),
+      human_rate(exec_rate).c_str(), human_rate(pkt).c_str(),
+      human_rate(bytes).c_str(), human_rate(hits).c_str(),
+      human_rate(misses).c_str(), human_rate(wbs).c_str());
+  std::printf(
+      "phase glyphs: V visit  S scan  K pack  F flush  P poll  T term  "
+      "I io  . idle\n");
+  std::printf("%5s %9s %9s %6s %10s %9s  %-24s\n", "rank", "depth", "inflight",
+              "epoch", "executed", "exec/s", "phase");
+  std::string stragglers;
+  for (const auto& r : rows) {
+    std::printf("%4d%c %9.0f %9.0f %6.0f %10.0f %9s  %-24s\n", r.rank,
+                r.straggler ? '*' : ' ', r.queue_depth, r.inflight, r.epoch,
+                r.executed, human_rate(r.executed_rate).c_str(),
+                phase_bar(r.phase, 24).c_str());
+    if (r.straggler) {
+      if (!stragglers.empty()) stragglers += ", ";
+      stragglers += std::to_string(r.rank);
+    }
+  }
+  if (!stragglers.empty()) {
+    std::printf("stragglers (*): rank %s — queue piling up or execution "
+                "rate far below median\n",
+                stragglers.c_str());
+  }
+  std::fflush(stdout);
+}
+
+int usage() {
+  std::cerr << "usage: sfg_top [--dir DIR] [--interval MS] [--once]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir;
+  if (const char* env = std::getenv("SFG_TS_DIR"); env != nullptr && *env) {
+    dir = env;
+  } else {
+    dir = ".";
+  }
+  long interval_ms = 500;
+  bool once = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--once") {
+      once = true;
+    } else if (a == "--dir" && i + 1 < argc) {
+      dir = argv[++i];
+    } else if (a == "--interval" && i + 1 < argc) {
+      interval_ms = std::strtol(argv[++i], nullptr, 10);
+      if (interval_ms <= 0) interval_ms = 500;
+    } else {
+      return usage();
+    }
+  }
+
+  for (;;) {
+    std::vector<rank_row> rows = collect(dir);
+    mark_stragglers(rows);
+    if (once) {
+      if (rows.empty()) {
+        std::cerr << "sfg_top: no sfg_ts_rank*.jsonl samples in " << dir
+                  << "\n";
+        return 1;
+      }
+      render(rows, dir);
+      return 0;
+    }
+    std::printf("\033[2J\033[H");  // clear + home
+    if (rows.empty()) {
+      std::printf("sfg_top: waiting for sfg_ts_rank*.jsonl in %s ...\n",
+                  dir.c_str());
+      std::fflush(stdout);
+    } else {
+      render(rows, dir);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}
