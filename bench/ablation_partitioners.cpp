@@ -1,0 +1,96 @@
+/// Ablation — edge placement strategy (paper §III-A1 vs DBH / HDRF / SNE).
+///
+/// The paper's sorted-chunk edge-list scheme is exactly edge-balanced by
+/// construction; the streaming partitioners trade that perfect balance
+/// for lower replication (fewer owner-chain hops per split vertex).
+/// This bench quantifies the trade on one RMAT graph: replication factor
+/// (chain RF = what the visitor queue pays per source; endpoint RF = the
+/// classic edge-partitioning metric), edge imbalance, and the BFS cost
+/// actually observed — TEPS plus the bottleneck-rank delivered-visitor
+/// and mailbox-record counts.
+///
+/// A second table sweeps HDRF's λ knob serially (pure place() passes) to
+/// show the balance/replication dial the CIKM'15 paper describes.
+#include "bench_common.hpp"
+#include "graph/partition_metrics.hpp"
+#include "graph/partitioner.hpp"
+
+int main() {
+  sfg::bench::reporter rep(
+      "ablation_partitioners", "paper SIII-A1 ablation",
+      "Edge placement strategies (edge_list/DBH/HDRF/SNE): replication "
+      "factor, edge imbalance, and BFS bottleneck-rank load; RMAT 2^12 "
+      "vertices, degree 16, p=4");
+
+  const int p = 4;
+  sfg::gen::rmat_config cfg{.scale = 12, .edge_factor = 16, .seed = 42};
+  rep.add_param("ranks", sfg::obs::json(static_cast<double>(p)));
+  rep.add_param("scale", sfg::obs::json(static_cast<double>(cfg.scale)));
+
+  sfg::util::table t({"partitioner", "chain_rf", "endpoint_rf",
+                      "split_vertices", "edge_imbalance", "bottleneck_edges",
+                      "time_s", "MTEPS", "max_rank_delivered",
+                      "max_rank_msgs"});
+  for (const auto kind : sfg::graph::kAllPartitioners) {
+    sfg::bench::bfs_measurement m{};
+    sfg::graph::replication_stats rs{};
+    sfg::runtime::launch(p, [&](sfg::runtime::comm& c) {
+      auto edges = sfg::bench::rmat_slice_for(cfg, c.rank(), p);
+      sfg::graph::graph_build_config gcfg{.num_ghosts = 256};
+      gcfg.partitioner.kind = kind;
+      auto g = sfg::graph::build_in_memory_graph(c, std::move(edges), gcfg);
+      const auto local_rs = sfg::graph::measure_replication(g);
+      const auto hub = sfg::bench::pick_hub_gid(g);
+      const auto mm = sfg::bench::measure_bfs(g, g.locate(hub), {});
+      if (c.rank() == 0) {
+        m = mm;
+        rs = local_rs;
+      }
+      c.barrier();
+    });
+    t.row()
+        .add(sfg::graph::partitioner_name(kind))
+        .add(rs.chain_rf, 3)
+        .add(rs.endpoint_rf, 3)
+        .add(rs.split_vertices)
+        .add(rs.imbalance, 3)
+        .add(rs.bottleneck_edges)
+        .add(m.seconds, 3)
+        .add(m.teps() / 1e6, 3)
+        .add(m.max_rank_delivered)
+        .add(m.max_rank_msgs);
+  }
+  t.print(std::cout);
+  rep.add_table("partitioners", t);
+
+  // HDRF λ sweep: serial place() passes over the same (cleaned) stream.
+  auto stream = sfg::gen::rmat_slice(cfg, 0, cfg.num_edges());
+  sfg::gen::symmetrize(stream);
+  std::erase_if(stream,
+                [](const sfg::gen::edge64& e) { return e.src == e.dst; });
+  std::sort(stream.begin(), stream.end(), sfg::gen::by_src_dst{});
+  stream.erase(std::unique(stream.begin(), stream.end()), stream.end());
+
+  sfg::util::table lt({"hdrf_lambda", "endpoint_rf", "edge_imbalance"});
+  for (const double lambda : {0.1, 1.0, 10.0}) {
+    const auto part = sfg::graph::make_partitioner(
+        {.kind = sfg::graph::partitioner_kind::hdrf, .hdrf_lambda = lambda});
+    const auto rs = sfg::graph::replication_from_assignment(
+        stream, part->place(stream, p), p);
+    lt.row().add(lambda, 2).add(rs.endpoint_rf, 3).add(rs.imbalance, 3);
+  }
+  lt.print(std::cout);
+  rep.add_table("hdrf_lambda", lt);
+
+  std::cout << "\nShape check: the two RF columns pull opposite ways.  "
+               "edge_list's sorted chunks split only at the <=2 chunk "
+               "boundaries (chain RF ~1, lowest visitor/mailbox load) but "
+               "scatter each hub's neighbors across ranks (highest endpoint "
+               "RF); DBH/HDRF hash/greedy placement co-locates neighbor "
+               "sets (lowest endpoint RF) at the price of many split hubs, "
+               "i.e. higher chain RF and delivered visitors.  Larger HDRF "
+               "lambda pulls imbalance toward 1 at higher replication.  "
+               "SNE on an already-sorted stream degenerates to near-"
+               "contiguous chunks, matching edge_list.\n";
+  return 0;
+}

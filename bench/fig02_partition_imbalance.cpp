@@ -8,6 +8,7 @@
 #include "graph/partition_metrics.hpp"
 
 #include "bench_common.hpp"
+#include "graph/partitioner.hpp"
 
 int main() {
   sfg::bench::reporter rep(
@@ -37,7 +38,43 @@ int main() {
   }
   t.print(std::cout);
   rep.add_table("main", t);
+
+  // Placement-quality companion: the same imbalance metric for the
+  // streaming partitioners, plus the endpoint replication factor they buy
+  // that balance with (edge_list's RF is the baseline to beat).  Fixed
+  // stream, two rank counts — ablation_partitioners measures the runtime
+  // consequences; this table is the pure placement geometry.
+  sfg::util::table q(
+      {"p", "partitioner", "endpoint_rf", "split_vertices", "imbalance"});
+  {
+    sfg::gen::rmat_config cfg{.scale = 14, .edge_factor = 16, .seed = 2};
+    auto stream = sfg::gen::rmat_slice(cfg, 0, cfg.num_edges());
+    sfg::gen::symmetrize(stream);
+    std::erase_if(stream,
+                  [](const sfg::gen::edge64& e) { return e.src == e.dst; });
+    std::sort(stream.begin(), stream.end(), sfg::gen::by_src_dst{});
+    stream.erase(std::unique(stream.begin(), stream.end()), stream.end());
+    for (const int p : {4, 16}) {
+      for (const auto kind : sfg::graph::kAllPartitioners) {
+        const auto part = sfg::graph::make_partitioner({.kind = kind});
+        const auto rs = sfg::graph::replication_from_assignment(
+            stream, part->place(stream, p), p);
+        q.row()
+            .add(p)
+            .add(sfg::graph::partitioner_name(kind))
+            .add(rs.endpoint_rf, 3)
+            .add(rs.split_vertices)
+            .add(rs.imbalance, 3);
+      }
+    }
+  }
+  std::cout << "\n";
+  q.print(std::cout);
+  rep.add_table("partitioner_quality", q);
+
   std::cout << "\nShape check vs paper: 1D imbalance grows with p; 2D stays "
-               "far lower; edge-list partitioning is exactly 1.0.\n";
+               "far lower; edge-list partitioning is exactly 1.0.  The "
+               "streaming partitioners hold imbalance near 1 with lower "
+               "replication than the sorted-chunk split on hub-heavy RMAT.\n";
   return 0;
 }

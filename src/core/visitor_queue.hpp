@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "core/local_queue.hpp"
+#include "graph/partitioner.hpp"
 #include "mailbox/routed_mailbox.hpp"
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
@@ -118,6 +119,15 @@ template <typename Graph, typename Visitor, typename State>
 class visitor_queue {
   static_assert(std::is_trivially_copyable_v<Visitor>,
                 "visitors travel as raw bytes");
+  // Ownership and replica-chain resolution go exclusively through the
+  // partitioned_graph operations (master_rank / next_owner_after /
+  // slot_of / ghost lookups).  The queue never assumes contiguous vertex
+  // blocks, consecutive owner chains, or any other layout detail — that
+  // is what lets every partitioner (edge_list/DBH/HDRF/SNE) and the 1D
+  // baseline drive the same traversal code.
+  static_assert(graph::partitioned_graph<Graph>,
+                "Graph must satisfy the partitioned_graph concept "
+                "(graph/partitioner.hpp)");
 
  public:
   visitor_queue(Graph& g, State& state, queue_config cfg = {})
@@ -142,7 +152,7 @@ class visitor_queue {
     if (ctx != 0) {
       obs::trace_flow_begin("visitor.push", obs::ctx_flow_id(ctx),
                             "visitor_flow", "dest",
-                            static_cast<double>(v.vertex.owner()));
+                            static_cast<double>(graph_->master_rank(v.vertex)));
     }
     if constexpr (Visitor::uses_ghosts) {
       if (cfg_.use_ghosts && graph_->has_local_ghost(v.vertex)) {
@@ -157,7 +167,7 @@ class visitor_queue {
       }
     }
     ++stats_.visitors_sent;
-    mailbox_.send(v.vertex.owner(), runtime::as_bytes_of(v), ctx);
+    mailbox_.send(graph_->master_rank(v.vertex), runtime::as_bytes_of(v), ctx);
   }
 
   /// Paper Algorithm 1, DO_TRAVERSAL: run to global quiescence.

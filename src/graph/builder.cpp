@@ -74,6 +74,13 @@ void dedup_across_boundaries(runtime::comm& c, std::vector<edge64>& edges) {
 partition_blueprint build_partition(runtime::comm& c,
                                     std::vector<edge64> edges,
                                     const graph_build_config& cfg) {
+  // Only the edge_list scheme has chunk boundaries for the distributed
+  // pipeline below; every other placement goes through the replicated
+  // streamed path (builder_streamed.cpp).
+  if (cfg.partitioner.kind != partitioner_kind::edge_list) {
+    return build_partition_streamed(c, std::move(edges), cfg);
+  }
+
   const int p = c.size();
   const int rank = c.rank();
 

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "gen/edge.hpp"
+#include "graph/partitioner.hpp"
 #include "graph/vertex_locator.hpp"
 #include "runtime/comm.hpp"
 #include "util/rng.hpp"
@@ -49,6 +50,10 @@ struct graph_build_config {
   /// in DRAM even for external graphs (semi-external model).
   bool make_weights = false;
   std::uint32_t max_weight = 255;  ///< weights uniform in [1, max_weight]
+  /// Edge placement strategy (partitioner.hpp).  The default edge_list
+  /// kind takes the paper's distributed sort path; every other kind is
+  /// built by the replicated streamed path (build_partition_streamed).
+  partitioner_options partitioner{};
 };
 
 /// Deterministic symmetric edge weight in [1, max_weight].
@@ -76,6 +81,8 @@ struct split_entry {
 struct partition_blueprint {
   int rank = 0;
   int p = 1;
+  /// Which partitioner produced this placement.
+  partitioner_kind scheme = partitioner_kind::edge_list;
   std::uint64_t total_vertices = 0;  ///< global distinct vertices
   std::uint64_t total_edges = 0;     ///< global directed edges after cleanup
 
@@ -106,9 +113,21 @@ struct partition_blueprint {
 };
 
 /// Collective: every rank passes its slice of the global edge list.
+/// Dispatches on cfg.partitioner.kind: edge_list runs the distributed
+/// sort pipeline above; dbh/hdrf/sne run build_partition_streamed.
 partition_blueprint build_partition(runtime::comm& c,
                                     std::vector<gen::edge64> edges,
                                     const graph_build_config& cfg);
+
+/// Collective alternative pipeline for arbitrary partitioners
+/// (builder_streamed.cpp): gathers the cleaned global edge stream on
+/// every rank, runs the (deterministic) partitioner pass redundantly,
+/// and assembles each rank's blueprint with no further communication.
+/// O(|E|) memory per rank — meant for correctness matrices, ablations,
+/// and modest scales, not the external-memory path.
+partition_blueprint build_partition_streamed(runtime::comm& c,
+                                             std::vector<gen::edge64> edges,
+                                             const graph_build_config& cfg);
 
 /// Directory hash: which rank stores the (global_id -> locator) entry.
 inline int directory_rank(std::uint64_t global_id, int p) {

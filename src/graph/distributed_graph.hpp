@@ -57,6 +57,20 @@ class distributed_graph {
   [[nodiscard]] int rank() const noexcept { return bp_.rank; }
   [[nodiscard]] int size() const noexcept { return bp_.p; }
   [[nodiscard]] runtime::comm& comm() const noexcept { return *comm_; }
+  /// Which partitioner produced this placement.
+  [[nodiscard]] partitioner_kind scheme() const noexcept { return bp_.scheme; }
+  /// The rank a fresh visitor for `v` must be mailed to.  Locators always
+  /// name master slots, whatever the partitioner, so this is the locator's
+  /// owner field — but routing goes through this accessor (the
+  /// partitioned_graph concept), never through layout assumptions.
+  [[nodiscard]] int master_rank(vertex_locator v) const noexcept {
+    return v.owner();
+  }
+  /// Local adjacency slice length (valid for external stores too, where
+  /// blueprint().adj_bits has been released).
+  [[nodiscard]] std::uint64_t local_edge_count() const noexcept {
+    return bp_.csr_offsets.empty() ? 0 : bp_.csr_offsets.back();
+  }
   [[nodiscard]] std::uint64_t total_vertices() const noexcept {
     return bp_.total_vertices;
   }

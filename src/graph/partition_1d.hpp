@@ -83,6 +83,9 @@ class graph_1d {
                                         vertex_locator target) const;
 
   // ---- no replicas, no ghosts ----
+  [[nodiscard]] int master_rank(vertex_locator v) const noexcept {
+    return v.owner();
+  }
   [[nodiscard]] int max_owner(vertex_locator v) const { return v.owner(); }
   [[nodiscard]] int next_owner_after(vertex_locator, int) const { return -1; }
   [[nodiscard]] bool has_local_ghost(vertex_locator) const { return false; }

@@ -41,4 +41,61 @@ std::vector<std::uint64_t> edges_per_partition_edge_list(
   return counts;
 }
 
+std::vector<std::uint64_t> edges_per_partition_assigned(
+    std::span<const int> assignment, int p) {
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(p), 0);
+  for (const int r : assignment) ++counts[static_cast<std::size_t>(r)];
+  return counts;
+}
+
+replication_stats replication_from_assignment(
+    std::span<const gen::edge64> stream, std::span<const int> assignment,
+    int p) {
+  // Per-vertex rank sets, built straight from the assignment — the
+  // ground truth the locator-derived measure_replication must match.
+  std::unordered_map<std::uint64_t, std::vector<int>> src_ranks;
+  std::unordered_map<std::uint64_t, std::vector<int>> end_ranks;
+  auto note = [](std::unordered_map<std::uint64_t, std::vector<int>>& m,
+                 std::uint64_t v, int r) {
+    auto& ranks = m[v];
+    if (std::find(ranks.begin(), ranks.end(), r) == ranks.end()) {
+      ranks.push_back(r);
+    }
+  };
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const int r = assignment[i];
+    note(src_ranks, stream[i].src, r);
+    note(end_ranks, stream[i].src, r);
+    note(end_ranks, stream[i].dst, r);
+  }
+
+  replication_stats out;
+  out.sources = src_ranks.size();
+  out.vertices = end_ranks.size();
+  std::uint64_t source_replicas = 0;
+  for (const auto& [v, ranks] : src_ranks) {
+    source_replicas += ranks.size();
+    if (ranks.size() > 1) ++out.split_vertices;
+  }
+  std::uint64_t endpoint_replicas = 0;
+  for (const auto& [v, ranks] : end_ranks) endpoint_replicas += ranks.size();
+  out.chain_rf = out.sources == 0 ? 1.0
+                                  : static_cast<double>(source_replicas) /
+                                        static_cast<double>(out.sources);
+  out.endpoint_rf = out.vertices == 0
+                        ? 1.0
+                        : static_cast<double>(endpoint_replicas) /
+                              static_cast<double>(out.vertices);
+  out.edges_per_rank = edges_per_partition_assigned(assignment, p);
+  for (const std::uint64_t e : out.edges_per_rank) {
+    out.bottleneck_edges = std::max(out.bottleneck_edges, e);
+  }
+  out.imbalance = stream.empty()
+                      ? 1.0
+                      : static_cast<double>(out.bottleneck_edges) *
+                            static_cast<double>(p) /
+                            static_cast<double>(stream.size());
+  return out;
+}
+
 }  // namespace sfg::graph

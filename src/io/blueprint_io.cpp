@@ -9,7 +9,7 @@ namespace sfg::io {
 namespace {
 
 constexpr std::uint64_t kMagic = 0x5346475f42503031ULL;  // "SFG_BP01"
-constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kVersion = 3;  // v3 adds the partitioner scheme tag
 
 [[noreturn]] void fail(const std::string& what, const std::string& path) {
   throw std::runtime_error("blueprint_io: " + what + ": " + path);
@@ -84,6 +84,7 @@ void save_blueprint(const std::string& path,
   w.value(kVersion);
   w.value<std::int32_t>(bp.rank);
   w.value<std::int32_t>(bp.p);
+  w.value<std::uint8_t>(static_cast<std::uint8_t>(bp.scheme));
   w.value(bp.total_vertices);
   w.value(bp.total_edges);
   w.value<std::uint64_t>(bp.num_sources);
@@ -123,6 +124,7 @@ graph::partition_blueprint load_blueprint(const std::string& path) {
   graph::partition_blueprint bp;
   bp.rank = r.value<std::int32_t>();
   bp.p = r.value<std::int32_t>();
+  bp.scheme = static_cast<graph::partitioner_kind>(r.value<std::uint8_t>());
   bp.total_vertices = r.value<std::uint64_t>();
   bp.total_edges = r.value<std::uint64_t>();
   bp.num_sources = r.value<std::uint64_t>();

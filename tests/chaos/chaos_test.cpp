@@ -43,16 +43,22 @@ gen::rmat_config small_rmat(std::uint64_t seed) {
   return {.scale = 6, .edge_factor = 8, .seed = 30 + seed};
 }
 
-TEST(Chaos, BfsSeedSweep) {
+/// 32-seed BFS fault sweep on a given partitioner.  The general
+/// placements (DBH/HDRF) give hubs *scattered* owner chains, so the
+/// replica-forwarding path under duplication + reordering exercises
+/// chain shapes edge_list can never produce.
+void bfs_sweep_on(graph::partitioner_kind kind, std::uint64_t base_seed) {
   const auto rc = small_rmat(1);
   const auto edges = gen::rmat_slice(rc, 0, rc.num_edges());
   const auto ref = reference::serial_graph::from_edges(edges);
   const auto expected = reference::serial_bfs(ref, edges.front().src);
 
-  run_sweep({.ranks = 4, .num_seeds = 32, .base_seed = 0xBF5000},
+  run_sweep({.ranks = 4, .num_seeds = 32, .base_seed = base_seed},
             [&](comm& c, const schedule& s) {
               auto mine = slice_edges(edges, c.rank(), c.size());
-              auto g = build_in_memory_graph(c, mine, {.num_ghosts = 32});
+              graph::graph_build_config gcfg{.num_ghosts = 32};
+              gcfg.partitioner.kind = kind;
+              auto g = build_in_memory_graph(c, mine, gcfg);
               auto result =
                   core::run_bfs(g, g.locate(edges.front().src), s.queue);
               const auto levels = gather_global(c, g, [&](std::size_t slot) {
@@ -64,9 +70,10 @@ TEST(Chaos, BfsSeedSweep) {
             });
 }
 
-TEST(Chaos, KcoreSeedSweep) {
-  // k-core needs *exact* visitor counts, so this sweep is the sharpest
-  // probe of exactly-once delivery under duplication/reordering.
+/// 32-seed k-core fault sweep on a given partitioner.  k-core needs
+/// *exact* visitor counts, so this sweep is the sharpest probe of
+/// exactly-once delivery under duplication/reordering.
+void kcore_sweep_on(graph::partitioner_kind kind, std::uint64_t base_seed) {
   const auto rc = small_rmat(2);
   const auto edges = gen::rmat_slice(rc, 0, rc.num_edges());
   const auto ref = reference::serial_graph::from_edges(edges);
@@ -76,13 +83,39 @@ TEST(Chaos, KcoreSeedSweep) {
     if (a) ++expected_size;
   }
 
-  run_sweep({.ranks = 4, .num_seeds = 32, .base_seed = 0xC04E},
+  run_sweep({.ranks = 4, .num_seeds = 32, .base_seed = base_seed},
             [&](comm& c, const schedule& s) {
               auto mine = slice_edges(edges, c.rank(), c.size());
-              auto g = build_in_memory_graph(c, mine, {});
+              graph::graph_build_config gcfg;
+              gcfg.partitioner.kind = kind;
+              auto g = build_in_memory_graph(c, mine, gcfg);
               auto result = core::run_kcore(g, 3, s.queue);
               EXPECT_EQ(result.core_size, expected_size);
             });
+}
+
+TEST(Chaos, BfsSeedSweep) {
+  bfs_sweep_on(graph::partitioner_kind::edge_list, 0xBF5000);
+}
+
+TEST(Chaos, BfsSeedSweepDbh) {
+  bfs_sweep_on(graph::partitioner_kind::dbh, 0xBF5DB);
+}
+
+TEST(Chaos, BfsSeedSweepHdrf) {
+  bfs_sweep_on(graph::partitioner_kind::hdrf, 0xBF5'4DF);
+}
+
+TEST(Chaos, KcoreSeedSweep) {
+  kcore_sweep_on(graph::partitioner_kind::edge_list, 0xC04E);
+}
+
+TEST(Chaos, KcoreSeedSweepDbh) {
+  kcore_sweep_on(graph::partitioner_kind::dbh, 0xC04'EDB);
+}
+
+TEST(Chaos, KcoreSeedSweepHdrf) {
+  kcore_sweep_on(graph::partitioner_kind::hdrf, 0xC04'E4D);
 }
 
 TEST(Chaos, TriangleSeedSweep) {

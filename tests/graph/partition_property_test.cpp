@@ -13,16 +13,27 @@
 ///   - every directed edge of the cleaned input is stored on exactly one
 ///     partition — reassembling all local slices reproduces the reference
 ///     edge list exactly, no loss and no duplication.
+///
+/// The first suite pins the edge_list scheme (including its ≤2 split
+/// lists per partition bound, which is edge_list-ONLY).  The second
+/// suite runs the scheme-independent invariants — acyclic ascending
+/// chains rooted at the master, exactly-once edge ownership, and
+/// replication factors matching a from-scratch recompute — across every
+/// registered partitioner.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cstdint>
 #include <map>
 #include <span>
+#include <string>
+#include <tuple>
 #include <vector>
 
 #include "gen/edge.hpp"
 #include "graph/distributed_graph.hpp"
+#include "graph/partition_metrics.hpp"
+#include "graph/partitioner.hpp"
 #include "runtime/runtime.hpp"
 #include "util/rng.hpp"
 
@@ -172,6 +183,139 @@ TEST_P(PartitionPropertyP, EveryEdgeOwnedByExactlyOnePartition) {
 
 INSTANTIATE_TEST_SUITE_P(WorldSizes, PartitionPropertyP,
                          ::testing::Values(1, 2, 4, 8));
+
+// ---------------------------------------------------------------------------
+// Scheme-independent invariants, across every partitioner.
+// ---------------------------------------------------------------------------
+
+class PartitionerPropertyP
+    : public ::testing::TestWithParam<std::tuple<int, partitioner_kind>> {};
+
+TEST_P(PartitionerPropertyP, ChainsAcyclicRootedAtMaster) {
+  const auto [p, kind] = GetParam();
+  for (const std::uint64_t seed : {11u, 4057u}) {
+    const auto edges = degree_sequence_edges(seed);
+    launch(p, [&, kind = kind](comm& c) {
+      graph_build_config cfg{.undirected = false, .num_ghosts = 0};
+      cfg.partitioner.kind = kind;
+      auto g = build_in_memory_graph(c, slice_for(edges, c.rank(), p), cfg);
+
+      for (const auto& e : g.split_table()) {
+        const auto v = vertex_locator::from_bits(e.locator_bits);
+        ASSERT_GE(e.owners.size(), 2u);
+        // Rooted at the master: the chain starts at the locator's owner.
+        EXPECT_EQ(e.owners.front(), v.owner());
+        EXPECT_EQ(e.owners.back(), g.max_owner(v));
+        // Acyclic by construction: strictly increasing rank order, so a
+        // forward walk can never revisit a rank.
+        for (std::size_t i = 1; i < e.owners.size(); ++i) {
+          EXPECT_LT(e.owners[i - 1], e.owners[i]);
+        }
+        // next_owner_after() visits each link once and terminates.
+        int hops = 0;
+        for (int r = g.master_rank(v); r >= 0; r = g.next_owner_after(v, r)) {
+          ASSERT_LE(++hops, static_cast<int>(e.owners.size()));
+          EXPECT_EQ(r, e.owners[static_cast<std::size_t>(hops - 1)]);
+        }
+        EXPECT_EQ(hops, static_cast<int>(e.owners.size()));
+        // Chain membership matches storage on this rank.
+        const bool on_chain = std::find(e.owners.begin(), e.owners.end(),
+                                        c.rank()) != e.owners.end();
+        EXPECT_EQ(g.slot_of(v).has_value(), on_chain);
+      }
+
+      // Every master slot's locator points back at this rank and slot —
+      // no scheme may break "locators name master slots".
+      for (std::size_t s = 0; s < g.num_slots(); ++s) {
+        const auto v = g.locator_of(s);
+        EXPECT_LE(g.master_rank(v), g.max_owner(v));
+        if (g.is_master(s)) {
+          EXPECT_EQ(g.master_rank(v), c.rank());
+          EXPECT_EQ(static_cast<std::size_t>(v.local_id()), s);
+        }
+      }
+    });
+  }
+}
+
+TEST_P(PartitionerPropertyP, EveryEdgeOwnedExactlyOnce) {
+  const auto [p, kind] = GetParam();
+  for (const std::uint64_t seed : {17u, 31337u}) {
+    const auto edges = degree_sequence_edges(seed);
+    const auto expected = cleaned_reference(edges);
+    launch(p, [&, kind = kind](comm& c) {
+      graph_build_config cfg{.undirected = false, .num_ghosts = 0};
+      cfg.partitioner.kind = kind;
+      auto g = build_in_memory_graph(c, slice_for(edges, c.rank(), p), cfg);
+      EXPECT_EQ(g.total_edges(), expected.size());
+
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> mine;
+      for (std::size_t s = 0; s < g.num_slots(); ++s) {
+        if (g.is_master(s)) {
+          mine.emplace_back(g.locator_of(s).bits(), g.global_id_of(s));
+        }
+      }
+      const auto all_ids = c.all_gatherv(
+          std::span<const std::pair<std::uint64_t, std::uint64_t>>(mine),
+          nullptr);
+      std::map<std::uint64_t, std::uint64_t> gid_of(all_ids.begin(),
+                                                    all_ids.end());
+
+      std::vector<edge64> local;
+      for (std::size_t s = 0; s < g.num_slots(); ++s) {
+        const std::uint64_t src = g.global_id_of(s);
+        g.for_each_out_edge(s, [&](vertex_locator t) {
+          local.push_back({src, gid_of.at(t.bits())});
+        });
+      }
+      auto assembled = c.all_gatherv(std::span<const edge64>(local), nullptr);
+      std::sort(assembled.begin(), assembled.end(), gen::by_src_dst{});
+      EXPECT_EQ(assembled, expected);
+    });
+  }
+}
+
+TEST_P(PartitionerPropertyP, ReplicationFactorMatchesRecompute) {
+  const auto [p, kind] = GetParam();
+  const auto edges = degree_sequence_edges(223);
+  // Ground truth from the cleaned stream + a fresh partitioner pass —
+  // exactly what the streamed builder consumed (and, for edge_list, what
+  // rebalance_even produces in the distributed pipeline).
+  const auto stream = cleaned_reference(edges);
+  const auto assignment =
+      make_partitioner({.kind = kind})->place(stream, p);
+  const auto expected = replication_from_assignment(stream, assignment, p);
+
+  launch(p, [&, kind = kind](comm& c) {
+    graph_build_config cfg{.undirected = false, .num_ghosts = 0};
+    cfg.partitioner.kind = kind;
+    auto g = build_in_memory_graph(c, slice_for(edges, c.rank(), p), cfg);
+    const auto measured = measure_replication(g);
+    EXPECT_EQ(measured.sources, expected.sources);
+    EXPECT_EQ(measured.vertices, expected.vertices);
+    EXPECT_EQ(measured.split_vertices, expected.split_vertices);
+    EXPECT_EQ(measured.edges_per_rank, expected.edges_per_rank);
+    EXPECT_EQ(measured.bottleneck_edges, expected.bottleneck_edges);
+    EXPECT_DOUBLE_EQ(measured.chain_rf, expected.chain_rf);
+    EXPECT_DOUBLE_EQ(measured.endpoint_rf, expected.endpoint_rf);
+    EXPECT_DOUBLE_EQ(measured.imbalance, expected.imbalance);
+    // The split table agrees with the measured split count.
+    std::uint64_t table_splits = 0;
+    for (const auto& e : g.split_table()) {
+      table_splits += e.owners.size() > 1 ? 1 : 0;
+    }
+    EXPECT_EQ(table_splits, measured.split_vertices);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, PartitionerPropertyP,
+    ::testing::Combine(::testing::Values(1, 3, 4, 8),
+                       ::testing::ValuesIn(kAllPartitioners)),
+    [](const ::testing::TestParamInfo<PartitionerPropertyP::ParamType>& info) {
+      return "p" + std::to_string(std::get<0>(info.param)) + "_" +
+             partitioner_name(std::get<1>(info.param));
+    });
 
 }  // namespace
 }  // namespace sfg::graph

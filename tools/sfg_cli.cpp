@@ -12,7 +12,12 @@
 ///   sfg_cli components FILE [--ranks P]
 ///   sfg_cli pagerank FILE [--ranks P] [--eps E]
 ///
-/// Every algorithm command also accepts the observability flags:
+/// Every algorithm command also accepts the placement flags:
+///   --partitioner=NAME   edge placement strategy: edge_list (default,
+///                        the paper's sorted-chunk scheme), dbh, hdrf,
+///                        or sne (graph/partitioner.hpp)
+///   --hdrf-lambda L      HDRF balance knob (only with --partitioner=hdrf)
+/// and the observability flags:
 ///   --json-report PATH   write a machine-readable run report (metrics
 ///                        registry snapshot + run parameters) after the run
 ///   --trace PATH         record a Chrome-trace/Perfetto timeline of the
@@ -38,6 +43,7 @@
 #include "core/wedge_sampling.hpp"
 #include "gen/generators.hpp"
 #include "graph/distributed_graph.hpp"
+#include "graph/partitioner.hpp"
 #include "io/edge_list_io.hpp"
 #include "obs/metrics.hpp"
 #include "obs/run_report.hpp"
@@ -78,7 +84,10 @@ args_map parse_args(int argc, char** argv, int first) {
     const std::string a = argv[i];
     if (a.rfind("--", 0) == 0) {
       const std::string key = a.substr(2);
-      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      if (const auto eq = key.find('='); eq != std::string::npos) {
+        out.options[key.substr(0, eq)] = key.substr(eq + 1);
+      } else if (i + 1 < argc &&
+                 std::string(argv[i + 1]).rfind("--", 0) != 0) {
         out.options[key] = argv[++i];
       } else {
         out.flags[key] = true;
@@ -118,6 +127,10 @@ int usage() {
          "  components FILE [--ranks P]\n"
          "  pagerank FILE [--ranks P] [--eps E]\n"
          "algorithm commands also accept:\n"
+         "  --partitioner=NAME   edge placement: edge_list (default), dbh,\n"
+         "                       hdrf, or sne\n"
+         "  --hdrf-lambda L      HDRF balance knob (default 1.0; larger =\n"
+         "                       more balance, more replication)\n"
          "  --json-report PATH   write metrics run report when done\n"
          "  --trace PATH         write Chrome-trace/Perfetto timeline\n";
   return 2;
@@ -223,12 +236,21 @@ int with_graph(const args_map& a, const char* command, std::uint32_t ghosts,
   if (a.positional.empty()) return usage();
   const auto path = a.positional[0];
   const int p = static_cast<int>(a.opt_u64("ranks", 4));
+  const auto kind =
+      sfg::graph::parse_partitioner(a.opt("partitioner", "edge_list"));
+  if (!kind.has_value()) {
+    std::cerr << "unknown --partitioner '" << a.opt("partitioner", "")
+              << "' (expected edge_list, dbh, hdrf, or sne)\n";
+    return 2;
+  }
   const obs_opts obs(a);
   int rc = 0;
   sfg::runtime::launch(p, [&](sfg::runtime::comm& c) {
     auto edges = load_edges_distributed(c, path);
-    auto g = sfg::graph::build_in_memory_graph(c, std::move(edges),
-                                               {.num_ghosts = ghosts});
+    sfg::graph::graph_build_config gcfg{.num_ghosts = ghosts};
+    gcfg.partitioner.kind = *kind;
+    gcfg.partitioner.hdrf_lambda = a.opt_f64("hdrf-lambda", 1.0);
+    auto g = sfg::graph::build_in_memory_graph(c, std::move(edges), gcfg);
     rc = fn(c, g);
   });
   if (!obs.finish(command, a) && rc == 0) rc = 1;

@@ -108,6 +108,60 @@ void check_report(const std::string& file) {
   check_run_report_envelope(file, *doc);
 }
 
+/// Deep checks for a per-partitioner comparison table (emitted by
+/// ablation_partitioners; any bench gaining a "partitioners" table is held
+/// to the same contract).  Guards the fields the partitioner-matrix CI job
+/// consumes: one row per known scheme, and sane replication numbers — an
+/// RF below 1 or a missing bottleneck column means the bench is measuring
+/// the wrong thing, not just formatting it badly.
+void check_partitioner_table(const std::string& file, const json& t) {
+  const json& headers = *t.find("headers");
+  std::map<std::string, std::size_t> col;
+  for (std::size_t i = 0; i < headers.size(); ++i) {
+    col[headers.at(i).as_string()] = i;
+  }
+  for (const char* required :
+       {"partitioner", "chain_rf", "endpoint_rf", "edge_imbalance",
+        "max_rank_delivered", "max_rank_msgs"}) {
+    if (!col.contains(required)) {
+      fail(file, std::string("partitioners table missing column \"") +
+                     required + "\"");
+      return;
+    }
+  }
+  const json& rows = *t.find("rows");
+  std::set<std::string> seen;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const json& row = rows.at(r);
+    const std::string where = "partitioners row " + std::to_string(r);
+    const json& name = row.at(col["partitioner"]);
+    if (!name.is_string() || !seen.insert(name.as_string()).second) {
+      fail(file, where + " has a missing or duplicate partitioner name");
+      return;
+    }
+    for (const char* rf : {"chain_rf", "endpoint_rf", "edge_imbalance"}) {
+      const json& v = row.at(col[rf]);
+      if (!v.is_number() || v.as_double() < 1.0) {
+        fail(file, where + " \"" + rf + "\" is not a number >= 1");
+        return;
+      }
+    }
+    for (const char* n : {"max_rank_delivered", "max_rank_msgs"}) {
+      if (!row.at(col[n]).is_number()) {
+        fail(file, where + " \"" + n + "\" is not a number");
+        return;
+      }
+    }
+  }
+  for (const char* scheme : {"edge_list", "dbh", "hdrf", "sne"}) {
+    if (!seen.contains(scheme)) {
+      fail(file,
+           std::string("partitioners table missing scheme \"") + scheme +
+               "\"");
+    }
+  }
+}
+
 void check_bench(const std::string& file) {
   const auto doc = load(file);
   if (!doc) return;
@@ -132,12 +186,17 @@ void check_bench(const std::string& file) {
       continue;
     }
     const std::size_t width = t.find("headers")->size();
+    bool widths_ok = true;
     for (std::size_t i = 0; i < t.find("rows")->size(); ++i) {
       if (t.find("rows")->at(i).size() != width) {
         fail(file, "table \"" + name + "\" row " + std::to_string(i) +
                        " width != header width");
+        widths_ok = false;
         break;
       }
+    }
+    if (name == "partitioners" && widths_ok) {
+      check_partitioner_table(file, t);
     }
   }
 }
