@@ -30,7 +30,8 @@ int main() {
   sfg::util::table t({"partitioner", "chain_rf", "endpoint_rf",
                       "split_vertices", "edge_imbalance", "bottleneck_edges",
                       "time_s", "MTEPS", "max_rank_delivered",
-                      "max_rank_msgs"});
+                      "max_rank_msgs", "max_pair_bytes", "matrix_imbalance",
+                      "traffic_amp"});
   for (const auto kind : sfg::graph::kAllPartitioners) {
     sfg::bench::bfs_measurement m{};
     sfg::graph::replication_stats rs{};
@@ -58,7 +59,10 @@ int main() {
         .add(m.seconds, 3)
         .add(m.teps() / 1e6, 3)
         .add(m.max_rank_delivered)
-        .add(m.max_rank_msgs);
+        .add(m.max_rank_msgs)
+        .add(m.max_pair_bytes)
+        .add(m.matrix_imbalance, 3)
+        .add(m.traffic_amplification, 3);
   }
   t.print(std::cout);
   rep.add_table("partitioners", t);
@@ -82,6 +86,11 @@ int main() {
   lt.print(std::cout);
   rep.add_table("hdrf_lambda", lt);
 
+  std::cout << "\nTraffic columns come from the rank x rank comm matrix "
+               "(sfg-comm-matrix/1): max_pair_bytes is the hottest "
+               "origin->dest payload stream, matrix_imbalance that maximum "
+               "over the mean off-diagonal pair, traffic_amp wire bytes "
+               "over payload bytes (headers + routing relays).\n";
   std::cout << "\nShape check: the two RF columns pull opposite ways.  "
                "edge_list's sorted chunks split only at the <=2 chunk "
                "boundaries (chain RF ~1, lowest visitor/mailbox load) but "

@@ -40,6 +40,16 @@ struct bfs_measurement {
   /// network analogue of max_rank_delivered.  A partitioner can balance
   /// delivered visitors yet still overload one rank's send path.
   std::uint64_t max_rank_msgs = 0;
+  /// Traffic-matrix scalars (zero unless obs::comm_matrix_on() during the
+  /// run — the reporter arms it via metrics).  max_pair_bytes is the
+  /// hottest origin->dest payload stream; matrix_imbalance is max
+  /// off-diagonal pair bytes over the mean off-diagonal pair bytes (1.0 =
+  /// perfectly even); traffic_amplification is wire bytes (headers +
+  /// routing relays) over first-send payload bytes — what the topology
+  /// and aggregation settings cost on top of the algorithm's demand.
+  std::uint64_t max_pair_bytes = 0;
+  double matrix_imbalance = 0;
+  double traffic_amplification = 0;
 
   [[nodiscard]] double teps() const {
     return seconds > 0 ? static_cast<double>(traversed_edges) / seconds : 0;
@@ -76,6 +86,36 @@ bfs_measurement measure_bfs(Graph& g, graph::vertex_locator source,
   m.max_rank_msgs = c.all_reduce(
       bfs.stats.mailbox.records_sent + bfs.stats.mailbox.records_forwarded,
       [](std::uint64_t a, std::uint64_t b) { return a > b ? a : b; });
+
+  // Traffic-matrix scalars: each rank holds one origin row (sent_bytes
+  // per final dest) plus its wire bytes (flush_bytes per next hop).
+  const auto max_u64 = [](std::uint64_t a, std::uint64_t b) {
+    return a > b ? a : b;
+  };
+  std::uint64_t row_max_off = 0, row_sum_off = 0, row_sum = 0, row_wire = 0;
+  const auto self = static_cast<std::size_t>(c.rank());
+  for (std::size_t d = 0; d < bfs.matrix.sent_bytes.size(); ++d) {
+    const std::uint64_t b = bfs.matrix.sent_bytes[d];
+    row_sum += b;
+    if (d != self) {
+      row_sum_off += b;
+      if (b > row_max_off) row_max_off = b;
+    }
+  }
+  for (const std::uint64_t b : bfs.matrix.flush_bytes) row_wire += b;
+  m.max_pair_bytes = c.all_reduce(row_max_off, max_u64);
+  const std::uint64_t sum_off = c.all_reduce(row_sum_off, std::plus<>());
+  const std::uint64_t sum_all = c.all_reduce(row_sum, std::plus<>());
+  const std::uint64_t sum_wire = c.all_reduce(row_wire, std::plus<>());
+  const auto p = static_cast<std::uint64_t>(c.size());
+  const double mean_off = p > 1 ? static_cast<double>(sum_off) /
+                                      static_cast<double>(p * (p - 1))
+                                : 0.0;
+  m.matrix_imbalance =
+      mean_off > 0 ? static_cast<double>(m.max_pair_bytes) / mean_off : 0.0;
+  m.traffic_amplification =
+      sum_all > 0 ? static_cast<double>(sum_wire) / static_cast<double>(sum_all)
+                  : 0.0;
   return m;
 }
 

@@ -41,11 +41,13 @@ int main() {
 
   // Placement-quality companion: the same imbalance metric for the
   // streaming partitioners, plus the endpoint replication factor they buy
-  // that balance with (edge_list's RF is the baseline to beat).  Fixed
-  // stream, two rank counts — ablation_partitioners measures the runtime
-  // consequences; this table is the pure placement geometry.
-  sfg::util::table q(
-      {"p", "partitioner", "endpoint_rf", "split_vertices", "imbalance"});
+  // that balance with (edge_list's RF is the baseline to beat), plus the
+  // *measured* BFS traffic from the rank x rank comm matrix — placement
+  // geometry and its network consequence side by side.  Fixed stream, two
+  // rank counts.
+  sfg::util::table q({"p", "partitioner", "endpoint_rf", "split_vertices",
+                      "imbalance", "max_pair_bytes", "matrix_imbalance",
+                      "traffic_amp"});
   {
     sfg::gen::rmat_config cfg{.scale = 14, .edge_factor = 16, .seed = 2};
     auto stream = sfg::gen::rmat_slice(cfg, 0, cfg.num_edges());
@@ -59,12 +61,27 @@ int main() {
         const auto part = sfg::graph::make_partitioner({.kind = kind});
         const auto rs = sfg::graph::replication_from_assignment(
             stream, part->place(stream, p), p);
+        sfg::bench::bfs_measurement m{};
+        sfg::runtime::launch(p, [&](sfg::runtime::comm& c) {
+          auto edges = sfg::bench::rmat_slice_for(cfg, c.rank(), p);
+          sfg::graph::graph_build_config gcfg{.num_ghosts = 256};
+          gcfg.partitioner.kind = kind;
+          auto g =
+              sfg::graph::build_in_memory_graph(c, std::move(edges), gcfg);
+          const auto hub = sfg::bench::pick_hub_gid(g);
+          const auto mm = sfg::bench::measure_bfs(g, g.locate(hub), {});
+          if (c.rank() == 0) m = mm;
+          c.barrier();
+        });
         q.row()
             .add(p)
             .add(sfg::graph::partitioner_name(kind))
             .add(rs.endpoint_rf, 3)
             .add(rs.split_vertices)
-            .add(rs.imbalance, 3);
+            .add(rs.imbalance, 3)
+            .add(m.max_pair_bytes)
+            .add(m.matrix_imbalance, 3)
+            .add(m.traffic_amplification, 3);
       }
     }
   }

@@ -1,0 +1,107 @@
+/// \file micro_comm_matrix.cpp
+/// Cost of the rank x rank traffic matrix on the routed-mailbox hot path
+/// (mailbox/routed_mailbox.hpp).  Three configurations of the same
+/// point-to-point route+flush+unpack loop as micro_mailbox:
+///   - off:          SFG_COMM_MATRIX disabled — the matrix update sites
+///                   must cost one predictable branch each
+///   - on:           matrix rows updated per record/flush, no timestamps
+///   - lat_sampled:  matrix on plus SFG_COMM_LAT_SAMPLE=1 (every packet
+///                   carries an enqueue timestamp and the receiver reads
+///                   the clock once per packet — the worst case)
+///
+/// The toggles are process-wide, so each bench sets them before the
+/// measured loop and restores the defaults after.
+#include <cstdint>
+#include <span>
+
+#include "mailbox/routed_mailbox.hpp"
+#include "micro_harness.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/comm.hpp"
+
+namespace {
+
+using namespace sfg;  // NOLINT: bench-local convenience
+
+struct record24 {
+  std::uint64_t a, b, c;
+};
+
+constexpr int kBatch = 64;
+constexpr int kMailTag = 0;
+
+/// One rep of the point-to-point aggregation round trip (identical to
+/// micro_mailbox's route_flush/direct body, so the three variants here
+/// are directly comparable to that baseline number).
+void pump_direct(std::uint64_t iters) {
+  runtime::world w(2);
+  auto& c0 = w.rank_comm(0);
+  auto& c1 = w.rank_comm(1);
+  mailbox::routed_mailbox m0(c0,
+                             {mailbox::topology::direct, 1 << 16, kMailTag});
+  mailbox::routed_mailbox m1(c1,
+                             {mailbox::topology::direct, 1 << 16, kMailTag});
+  record24 r{1, 2, 3};
+  std::uint64_t sink = 0;
+  for (std::uint64_t it = 0; it < iters; ++it) {
+    for (int i = 0; i < kBatch; ++i) {
+      r.a = it + static_cast<std::uint64_t>(i);
+      m0.send(1, runtime::as_bytes_of(r));
+    }
+    m0.flush();
+    runtime::message msg;
+    while (c1.try_recv(msg)) {
+      sink += m1.process_packet(msg, [](int, std::span<const std::byte>) {});
+    }
+  }
+  micro::keep(sink);
+}
+
+/// RAII guard: apply a matrix/latency configuration for one bench body
+/// and restore the disabled defaults on exit.
+struct matrix_config {
+  matrix_config(bool matrix, std::uint32_t lat_sample) {
+    obs::set_comm_matrix_enabled(matrix);
+    obs::set_comm_lat_sample(lat_sample);
+  }
+  ~matrix_config() {
+    obs::set_comm_matrix_enabled(false);
+    obs::set_comm_lat_sample(1);
+  }
+  matrix_config(const matrix_config&) = delete;
+  matrix_config& operator=(const matrix_config&) = delete;
+};
+
+void bench_matrix_off(micro::suite& s) {
+  s.run("mailbox/comm_matrix/off", kBatch, [](std::uint64_t iters) {
+    const matrix_config cfg(false, 0);
+    pump_direct(iters);
+  });
+}
+
+void bench_matrix_on(micro::suite& s) {
+  s.run("mailbox/comm_matrix/on", kBatch, [](std::uint64_t iters) {
+    const matrix_config cfg(true, 0);
+    pump_direct(iters);
+  });
+}
+
+void bench_matrix_lat_sampled(micro::suite& s) {
+  s.run("mailbox/comm_matrix/lat_sampled", kBatch, [](std::uint64_t iters) {
+    const matrix_config cfg(true, 1);
+    pump_direct(iters);
+  });
+}
+
+}  // namespace
+
+int main() {
+  micro::suite s("micro_comm_matrix",
+                 "routed-mailbox route+flush+unpack with the rank x rank "
+                 "traffic matrix off, on, and with per-packet latency "
+                 "sampling");
+  bench_matrix_off(s);
+  bench_matrix_on(s);
+  bench_matrix_lat_sampled(s);
+  return 0;
+}

@@ -71,6 +71,10 @@ template <typename Graph>
 struct bfs_result {
   graph::vertex_state<bfs_state> state;
   traversal_stats stats;
+  /// This rank's cumulative mailbox traffic matrix at traversal end (rows
+  /// are all zero unless obs::comm_matrix_on()).  Benches derive per-
+  /// partitioner traffic scalars (max pair bytes, imbalance) from it.
+  mailbox::routed_mailbox::traffic_matrix matrix;
 };
 
 /// Paper Algorithm 3: collective BFS from `source` (a valid locator, e.g.
@@ -85,7 +89,7 @@ bfs_result<Graph> run_bfs(Graph& g, graph::vertex_locator source,
     vq.push(bfs_visitor{source, 0, source.bits()});
   }
   vq.do_traversal();
-  return {std::move(state), vq.stats()};
+  return {std::move(state), vq.stats(), vq.mail().matrix()};
 }
 
 }  // namespace sfg::core

@@ -384,6 +384,13 @@ class visitor_queue {
     };
     const std::vector<rank_timing> timing = c.all_gather(
         rank_timing{last_wall_us_, last_max_depth_, stats_.visitors_executed});
+    // Rank x rank traffic-matrix section (sfg-comm-matrix/1): each rank
+    // ships its mailbox matrix fragment through the same collective path.
+    // The gate is process-wide (ranks are threads), so all ranks agree on
+    // whether to enter the collective.
+    const bool want_matrix = obs::comm_matrix_on();
+    obs::json matrix_rows;
+    if (want_matrix) matrix_rows = obs::gather_json(c, mailbox_.matrix_json());
     if (c.rank() != 0) return;
     obs::json entry = obs::json::object();
     entry["ranks"] = static_cast<std::uint64_t>(all.size());
@@ -396,6 +403,13 @@ class visitor_queue {
     entry["total"] = obs::stats_to_json(total);
     entry["per_rank"] = std::move(per_rank);
     entry["straggler"] = straggler_summary(timing);
+    if (want_matrix) {
+      obs::json cm = obs::json::object();
+      cm["schema"] = "sfg-comm-matrix/1";
+      cm["ranks"] = static_cast<std::uint64_t>(all.size());
+      cm["rows"] = std::move(matrix_rows);
+      entry["comm_matrix"] = std::move(cm);
+    }
     obs::append_traversal_report(std::move(entry));
   }
 

@@ -25,6 +25,56 @@ routed_mailbox::routed_mailbox(runtime::comm& c, config cfg)
     ch.watermark = cfg_.aggregation_bytes;
     ch.reserve_hint = cfg_.min_aggregation_bytes;
   }
+  // Traffic-matrix rows are sized once here so every update site — even
+  // with the matrix enabled — is a plain indexed increment, never a grow.
+  const auto p = static_cast<std::size_t>(c.size());
+  matrix_.sent_records.assign(p, 0);
+  matrix_.sent_bytes.assign(p, 0);
+  matrix_.delivered_records.assign(p, 0);
+  matrix_.delivered_bytes.assign(p, 0);
+  matrix_.dup_records.assign(p, 0);
+  matrix_.flush_packets.assign(p, 0);
+  matrix_.flush_bytes.assign(p, 0);
+}
+
+void routed_mailbox::reset_matrix() {
+  for (auto* row :
+       {&matrix_.sent_records, &matrix_.sent_bytes, &matrix_.delivered_records,
+        &matrix_.delivered_bytes, &matrix_.dup_records, &matrix_.flush_packets,
+        &matrix_.flush_bytes}) {
+    std::fill(row->begin(), row->end(), 0);
+  }
+  matrix_.latency_us = obs::histogram{};
+  local_open_ts_us_ = 0;
+}
+
+obs::json routed_mailbox::matrix_json() const {
+  const auto row = [](const std::vector<std::uint64_t>& v) {
+    obs::json arr = obs::json::array();
+    for (const auto x : v) arr.push_back(x);
+    return arr;
+  };
+  obs::json out = obs::json::object();
+  out["rank"] = comm_->rank();
+  out["sent_records"] = row(matrix_.sent_records);
+  out["sent_bytes"] = row(matrix_.sent_bytes);
+  out["delivered_records"] = row(matrix_.delivered_records);
+  out["delivered_bytes"] = row(matrix_.delivered_bytes);
+  out["dup_records"] = row(matrix_.dup_records);
+  out["flush_packets"] = row(matrix_.flush_packets);
+  out["flush_bytes"] = row(matrix_.flush_bytes);
+  out["latency_us"] = matrix_.latency_us.to_json();
+  // Counter snapshot taken at the same instant as the rows: the validator
+  // cross-checks row sums against these (and against the sfg-metrics/1
+  // per-rank mailbox counters, which are per-traversal and thus <=).
+  obs::json totals = obs::json::object();
+  totals["records_sent"] = stats_.records_sent;
+  totals["records_delivered"] = stats_.records_delivered;
+  totals["packets_sent"] = stats_.packets_sent;
+  totals["packet_bytes_sent"] = stats_.packet_bytes_sent;
+  totals["packets_dropped_duplicate"] = stats_.packets_dropped_duplicate;
+  out["totals"] = std::move(totals);
+  return out;
 }
 
 void routed_mailbox::flush_channel(int next_hop, flush_reason why) {
@@ -33,11 +83,17 @@ void routed_mailbox::flush_channel(int next_hop, flush_reason why) {
   const obs::phase_scope pscope(obs::phase::mbox_flush);
   obs::trace_span span("mailbox.flush", "mailbox");
   span.set_arg("bytes", static_cast<double>(ch.buf.size()));
-  const packet_header ph{next_packet_seq_[static_cast<std::size_t>(next_hop)]++};
+  const packet_header ph{next_packet_seq_[static_cast<std::size_t>(next_hop)]++,
+                         ch.open_ts_us};
   std::memcpy(ch.buf.data(), &ph, sizeof(ph));
+  ch.open_ts_us = 0;
   ++stats_.packets_sent;
   stats_.packet_bytes_sent += ch.buf.size();
   const std::size_t sent_bytes = ch.buf.size();
+  if (obs::comm_matrix_on()) {
+    matrix_.flush_packets[static_cast<std::size_t>(next_hop)] += 1;
+    matrix_.flush_bytes[static_cast<std::size_t>(next_hop)] += sent_bytes;
+  }
   // Adapt the watermark: filling up means traffic can sustain bigger
   // packets; aging out means it cannot — shrink so records stop waiting.
   switch (why) {
@@ -144,10 +200,29 @@ void routed_mailbox::note_rejected_packet(int source, std::size_t bytes) {
   }
 }
 
-void routed_mailbox::note_duplicate_packet(int source, std::uint64_t seq) {
+void routed_mailbox::note_duplicate_packet(int source, std::uint64_t seq,
+                                           std::span<const std::byte> payload) {
   // Transport replay (fault layer): this packet was already consumed;
   // replaying it would double-deliver every record inside.
   ++stats_.packets_dropped_duplicate;
+  if (obs::comm_matrix_on()) {
+    // Attribute the suppressed would-be deliveries per origin, so the
+    // conservation identity (arrived == delivered + dup-rejected per pair)
+    // is checkable from the matrix alone.  The payload already passed
+    // validate_packet; this is a cold path, replays are rare.
+    const std::byte* data = payload.data();
+    const std::size_t total = payload.size();
+    const auto self = static_cast<std::uint16_t>(comm_->rank());
+    std::size_t off = sizeof(packet_header);
+    while (off < total) {
+      record_header hdr;
+      std::memcpy(&hdr, data + off, sizeof(hdr));
+      off += sizeof(hdr);
+      if ((hdr.size & kCtxFlag) != 0) off += sizeof(obs::trace_ctx);
+      if (hdr.final_dest == self) matrix_.dup_records[hdr.origin] += 1;
+      off += hdr.size & kRecSizeMask;
+    }
+  }
   obs::trace_instant("mailbox.dup_drop", "mailbox", "seq",
                      static_cast<double>(seq));
   obs::flight_record(obs::flight_kind::mbox_dup_drop,

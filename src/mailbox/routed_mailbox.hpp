@@ -37,6 +37,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <functional>
@@ -46,6 +47,8 @@
 #include "mailbox/seq_window.hpp"
 #include "mailbox/topology.hpp"
 #include "obs/flight.hpp"
+#include "obs/histogram.hpp"
+#include "obs/metrics.hpp"
 #include "obs/phase.hpp"
 #include "obs/stats_fields.hpp"
 #include "obs/trace_context.hpp"
@@ -137,14 +140,64 @@ class routed_mailbox {
     std::uint64_t flushes_by_age = 0;    ///< tick-age-triggered flushes
   };
   [[nodiscard]] const mailbox_stats& stats() const noexcept { return stats_; }
-  void reset_stats() { stats_ = mailbox_stats{}; }
+  void reset_stats() {
+    stats_ = mailbox_stats{};
+    reset_matrix();
+  }
+
+  /// Per-pair traffic accounting, one row per peer rank, owned by this
+  /// rank (the data-movement layer, DESIGN.md §12).  Updated only while
+  /// obs::comm_matrix_on(); all rows are preallocated at construction so
+  /// the enabled path is allocation-free too.  Invariants at quiescence:
+  ///   sum(sent_records)      == stats().records_sent
+  ///   sum(delivered_records) == stats().records_delivered
+  ///   sum(flush_packets)     == stats().packets_sent
+  ///   sum(flush_bytes)       == stats().packet_bytes_sent
+  ///   delivered_records on rank d, index o == sent_records on rank o,
+  ///   index d (exactly-once conservation; the chaos suite asserts it
+  ///   under duplicate/reorder fault schedules).
+  struct traffic_matrix {
+    std::vector<std::uint64_t> sent_records;       ///< [final_dest] originated here
+    std::vector<std::uint64_t> sent_bytes;         ///< [final_dest] payload bytes
+    std::vector<std::uint64_t> delivered_records;  ///< [origin] consumed here
+    std::vector<std::uint64_t> delivered_bytes;    ///< [origin] payload bytes
+    /// [origin] records addressed here that arrived inside a dup-dropped
+    /// packet (would-be double deliveries the seq window suppressed).
+    std::vector<std::uint64_t> dup_records;
+    std::vector<std::uint64_t> flush_packets;  ///< [next_hop] wire packets
+    std::vector<std::uint64_t> flush_bytes;    ///< [next_hop] wire bytes (incl. headers)
+    /// Sampled enqueue->deliver latency (µs): packet-open timestamp to
+    /// record walk, 1-in-comm_lat_sample() channel opens are stamped.
+    obs::histogram latency_us;
+  };
+  [[nodiscard]] const traffic_matrix& matrix() const noexcept { return matrix_; }
+  void reset_matrix();
+
+  /// This rank's matrix rows plus a consistent mailbox-counter snapshot as
+  /// one JSON fragment — all ranks' fragments aggregate into the
+  /// `sfg-comm-matrix/1` report section (obs::gather_json).
+  [[nodiscard]] obs::json matrix_json() const;
 
  private:
   /// First bytes of every packet: the per-(sender, this-receiver) sequence
-  /// number used for duplicate suppression.
+  /// number used for duplicate suppression, plus the channel-open
+  /// timestamp (µs, steady clock) for the sampled enqueue->deliver latency
+  /// histogram.  `open_ts_us == 0` means "not sampled" — the stamp costs a
+  /// clock read, so it is taken on 1-in-comm_lat_sample() channel opens
+  /// and only while the traffic matrix is live.  Ranks are threads in one
+  /// process, so sender and receiver share the clock.
   struct packet_header {
     std::uint64_t seq;
+    std::uint64_t open_ts_us;
   };
+  static_assert(sizeof(packet_header) == 16);
+
+  [[nodiscard]] static std::uint64_t now_us() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
 
   /// Compact per-record framing: ranks fit 16 bits by construction
   /// (vertex_locator reserves exactly 16 owner bits), so the header is 8
@@ -167,6 +220,7 @@ class routed_mailbox {
   struct channel {
     std::vector<std::byte> buf;
     std::uint64_t opened_tick = 0;    ///< tick() count when buf went non-empty
+    std::uint64_t open_ts_us = 0;     ///< latency sample stamp; 0 = unsampled
     std::size_t watermark = 0;        ///< current effective flush size
     /// Bytes to pre-reserve on open.  Flushing *moves* the arena into the
     /// transport (capacity leaves with it), so each open must allocate;
@@ -201,8 +255,11 @@ class routed_mailbox {
 
   /// Cold paths of process_packet, kept out of the template body: stats +
   /// trace + metrics + flight recorder for rejected / replayed packets.
+  /// The duplicate path receives the (already validated) payload so the
+  /// traffic matrix can attribute the suppressed records per origin.
   void note_rejected_packet(int source, std::size_t bytes);
-  void note_duplicate_packet(int source, std::uint64_t seq);
+  void note_duplicate_packet(int source, std::uint64_t seq,
+                             std::span<const std::byte> payload);
 
   runtime::comm* comm_;
   config cfg_;
@@ -227,12 +284,22 @@ class routed_mailbox {
   /// Exact sliding-window dedup of consumed packet sequences, per source.
   std::vector<seq_window> seen_packet_seq_;
   mailbox_stats stats_;
+  /// Per-pair traffic rows (preallocated; updated under comm_matrix_on()).
+  traffic_matrix matrix_;
+  /// Round-robin counter for 1-in-n latency stamping across channel opens.
+  std::uint32_t lat_tick_ = 0;
+  /// Latency stamp for the local arena (self-sends), same sampling rule.
+  std::uint64_t local_open_ts_us_ = 0;
 };
 
 inline void routed_mailbox::send(int final_dest,
                                  std::span<const std::byte> record,
                                  obs::trace_ctx ctx) {
   ++stats_.records_sent;
+  if (obs::comm_matrix_on()) {
+    matrix_.sent_records[static_cast<std::size_t>(final_dest)] += 1;
+    matrix_.sent_bytes[static_cast<std::size_t>(final_dest)] += record.size();
+  }
   route_record(static_cast<std::uint16_t>(comm_->rank()), final_dest, record,
                ctx);
 }
@@ -256,6 +323,12 @@ inline void routed_mailbox::route_record(std::uint16_t origin, int final_dest,
     // record; drain_local hands out span views into it (no per-record
     // allocation, see the zero-alloc test).
     auto& arena = draining_local_ ? local_scratch_ : local_arena_;
+    if (arena.empty() && local_open_ts_us_ == 0 && obs::comm_matrix_on()) {
+      // Same 1-in-n sampling as remote channel opens: the stamp pays a
+      // clock read, the drain records one latency sample per round.
+      const std::uint32_t n = obs::comm_lat_sample();
+      if (n != 0 && lat_tick_++ % n == 0) local_open_ts_us_ = now_us();
+    }
     arena.insert(arena.end(), hdr_bytes, hdr_bytes + sizeof(hdr));
     if (ctx != 0) arena.insert(arena.end(), ctx_bytes, ctx_bytes + sizeof(ctx));
     arena.insert(arena.end(), record.begin(), record.end());
@@ -273,6 +346,11 @@ inline void routed_mailbox::route_record(std::uint16_t origin, int final_dest,
         sizeof(packet_header) + sizeof(record_header) + record.size()));
     ch.buf.resize(sizeof(packet_header));
     ch.opened_tick = tick_now_;
+    ch.open_ts_us = 0;
+    if (obs::comm_matrix_on()) {
+      const std::uint32_t n = obs::comm_lat_sample();
+      if (n != 0 && lat_tick_++ % n == 0) ch.open_ts_us = now_us();
+    }
     dirty_hops_.push_back(hop);
     ++dirty_count_;
   }
@@ -293,8 +371,13 @@ std::size_t routed_mailbox::process_packet(const runtime::message& m,
   packet_header ph;
   std::memcpy(&ph, m.payload.data(), sizeof(ph));
   if (!seen_packet_seq_[static_cast<std::size_t>(m.source)].first_time(ph.seq)) {
-    note_duplicate_packet(m.source, ph.seq);
+    note_duplicate_packet(m.source, ph.seq, m.payload);
     return 0;
+  }
+  const bool mx = obs::comm_matrix_on();
+  if (mx && ph.open_ts_us != 0) {
+    const std::uint64_t now = now_us();
+    matrix_.latency_us.add(now > ph.open_ts_us ? now - ph.open_ts_us : 0);
   }
   std::size_t delivered = 0;
   std::size_t off = sizeof(packet_header);
@@ -316,6 +399,10 @@ std::size_t routed_mailbox::process_packet(const runtime::message& m,
     if (static_cast<int>(hdr.final_dest) == self) {
       ++stats_.records_delivered;
       ++delivered;
+      if (mx) {
+        matrix_.delivered_records[hdr.origin] += 1;
+        matrix_.delivered_bytes[hdr.origin] += rec_size;
+      }
       deliver_record(deliver, static_cast<int>(hdr.origin), record, ctx);
     } else {
       ++stats_.records_forwarded;
@@ -343,8 +430,18 @@ std::size_t routed_mailbox::drain_local(F&& deliver) {
   // round.  Re-entrant drain calls (deliver -> drain_local) are no-ops.
   if (draining_local_) return 0;
   draining_local_ = true;
+  const bool mx = obs::comm_matrix_on();
   std::size_t delivered = 0;
   while (!local_arena_.empty()) {
+    if (local_open_ts_us_ != 0) {
+      // One latency sample per drain round (self-delivery "packet").
+      if (mx) {
+        const std::uint64_t now = now_us();
+        matrix_.latency_us.add(now > local_open_ts_us_ ? now - local_open_ts_us_
+                                                       : 0);
+      }
+      local_open_ts_us_ = 0;
+    }
     const std::byte* data = local_arena_.data();
     const std::size_t total = local_arena_.size();
     std::size_t off = 0;
@@ -362,6 +459,10 @@ std::size_t routed_mailbox::drain_local(F&& deliver) {
       assert(off + rec_size <= total);
       ++stats_.records_delivered;
       ++delivered;
+      if (mx) {
+        matrix_.delivered_records[hdr.origin] += 1;
+        matrix_.delivered_bytes[hdr.origin] += rec_size;
+      }
       deliver_record(deliver, static_cast<int>(hdr.origin),
                      std::span<const std::byte>(data + off, rec_size), ctx);
       off += rec_size;

@@ -53,6 +53,20 @@ obs_toggles::obs_toggles() {
     const long n = std::strtol(env, nullptr, 10);
     if (n > 0) timeseries.store(true, std::memory_order_relaxed);
   }
+  if (const char* env = std::getenv("SFG_COMM_MATRIX");
+      env != nullptr && *env != '\0' && *env != '0') {
+    comm_matrix.store(true, std::memory_order_relaxed);
+  }
+  if (const char* env = std::getenv("SFG_IO_HIST");
+      env != nullptr && *env != '\0' && *env != '0') {
+    io_hist.store(true, std::memory_order_relaxed);
+  }
+  if (const char* env = std::getenv("SFG_COMM_LAT_SAMPLE");
+      env != nullptr && *env != '\0') {
+    const long n = std::strtol(env, nullptr, 10);
+    comm_lat_sample.store(n > 0 ? static_cast<std::uint32_t>(n) : 0,
+                          std::memory_order_relaxed);
+  }
 }
 
 obs_toggles& toggles() {
@@ -64,6 +78,18 @@ obs_toggles& toggles() {
 
 void set_metrics_enabled(bool on) {
   detail::toggles().metrics.store(on, std::memory_order_relaxed);
+}
+
+void set_comm_matrix_enabled(bool on) {
+  detail::toggles().comm_matrix.store(on, std::memory_order_relaxed);
+}
+
+void set_io_hist_enabled(bool on) {
+  detail::toggles().io_hist.store(on, std::memory_order_relaxed);
+}
+
+void set_comm_lat_sample(std::uint32_t n) {
+  detail::toggles().comm_lat_sample.store(n, std::memory_order_relaxed);
 }
 
 std::string metrics_report_path() {

@@ -24,6 +24,18 @@
 ///   SFG_TS_INTERVAL_MS=<n>  enable live time-series sampling every n ms
 ///                           (timeseries.hpp); 0/unset disables
 ///   SFG_TS_DIR=<dir>        per-rank sfg-timeseries/1 JSONL output dir
+///   SFG_COMM_MATRIX=1       force the rank x rank traffic matrix on even
+///                           when metrics/time-series are off
+///                           (mailbox/routed_mailbox.hpp); it is implied by
+///                           SFG_METRICS and SFG_TS_INTERVAL_MS
+///   SFG_COMM_LAT_SAMPLE=<n> sample 1-in-n packets with an enqueue->deliver
+///                           latency timestamp (default 1 = every packet;
+///                           0 disables latency sampling entirely)
+///   SFG_IO_HIST=1           force storage I/O latency histograms and the
+///                           reuse-distance estimator on even when
+///                           metrics/time-series are off (page_cache.hpp,
+///                           block_device.hpp); implied by SFG_METRICS and
+///                           SFG_TS_INTERVAL_MS
 #pragma once
 
 #include <atomic>
@@ -50,6 +62,15 @@ struct obs_toggles {
   std::atomic<bool> timeseries{false};
   /// Visitor causal-sampling rate: sample 1-in-`sample` pushes; 0 = off.
   std::atomic<std::uint32_t> sample{0};
+  /// Force the rank x rank traffic matrix on (SFG_COMM_MATRIX); the matrix
+  /// also runs whenever metrics or time-series are on (comm_matrix_on()).
+  std::atomic<bool> comm_matrix{false};
+  /// Force storage I/O latency histograms on (SFG_IO_HIST); also implied
+  /// by metrics / time-series (io_hist_on()).
+  std::atomic<bool> io_hist{false};
+  /// Packet latency sampling rate: stamp 1-in-`comm_lat_sample` packets
+  /// with an enqueue timestamp; 0 = never (matrix counters still run).
+  std::atomic<std::uint32_t> comm_lat_sample{1};
 };
 
 obs_toggles& toggles();
@@ -75,9 +96,40 @@ obs_toggles& toggles();
   return metrics_on() || ts_on();
 }
 
+/// Traffic-matrix gate (mailbox/routed_mailbox.hpp): the rank x rank
+/// record/byte/flush matrix updates whenever any consumer wants it —
+/// metrics reports, the live sampler, or an explicit SFG_COMM_MATRIX=1.
+/// Disabled, an update site is relaxed loads + one predictable branch; the
+/// matrix rows are preallocated at mailbox construction, so the enabled
+/// path is allocation-free too.
+[[nodiscard]] inline bool comm_matrix_on() noexcept {
+  return detail::toggles().comm_matrix.load(std::memory_order_relaxed) ||
+         metrics_on() || ts_on();
+}
+
+/// Storage I/O attribution gate (page_cache.hpp, block_device.hpp):
+/// latency histograms and the reuse-distance estimator read clocks, so
+/// they only run when a consumer is live (or SFG_IO_HIST=1 forces them).
+[[nodiscard]] inline bool io_hist_on() noexcept {
+  return detail::toggles().io_hist.load(std::memory_order_relaxed) ||
+         metrics_on() || ts_on();
+}
+
+/// Packet latency sampling rate (1-in-n packet flushes carry an enqueue
+/// timestamp; 0 disables latency stamping without touching the matrix).
+[[nodiscard]] inline std::uint32_t comm_lat_sample() noexcept {
+  return detail::toggles().comm_lat_sample.load(std::memory_order_relaxed);
+}
+
 /// Programmatic override (benches/CLI/tests); the env var is only the
 /// default.
 void set_metrics_enabled(bool on);
+
+/// Programmatic overrides for the data-movement layer (micro_comm_matrix
+/// and the alloc tests flip these without touching the environment).
+void set_comm_matrix_enabled(bool on);
+void set_io_hist_enabled(bool on);
+void set_comm_lat_sample(std::uint32_t n);
 
 /// Path for traversal run reports (SFG_METRICS or set_metrics_report_path);
 /// empty when reporting is off.

@@ -37,11 +37,23 @@ namespace {
 struct traversal_collector {
   std::mutex mu;
   json entries = json::array();
+  json sections = json::object();
 };
 
 traversal_collector& collector() {
   static traversal_collector c;
   return c;
+}
+
+/// Serialize the collector's current state to `path`; caller holds c.mu.
+void write_collected_locked(const traversal_collector& c,
+                            const std::string& path) {
+  json doc = json::object();
+  doc["schema"] = "sfg-metrics/1";
+  doc["traversals"] = c.entries;
+  for (const auto& [key, v] : c.sections.items()) doc[key] = v;
+  doc["metrics"] = metrics_registry::instance().snapshot();
+  write_json_file(path, doc);
 }
 
 }  // namespace
@@ -52,17 +64,23 @@ void append_traversal_report(json entry) {
   auto& c = collector();
   const std::scoped_lock lock(c.mu);
   c.entries.push_back(std::move(entry));
-  json doc = json::object();
-  doc["schema"] = "sfg-metrics/1";
-  doc["traversals"] = c.entries;
-  doc["metrics"] = metrics_registry::instance().snapshot();
-  write_json_file(path, doc);
+  write_collected_locked(c, path);
+}
+
+void set_metrics_report_section(const std::string& key, json v) {
+  const std::string path = metrics_report_path();
+  if (path.empty()) return;
+  auto& c = collector();
+  const std::scoped_lock lock(c.mu);
+  c.sections[key] = std::move(v);
+  write_collected_locked(c, path);
 }
 
 void clear_traversal_reports() {
   auto& c = collector();
   const std::scoped_lock lock(c.mu);
   c.entries = json::array();
+  c.sections = json::object();
 }
 
 }  // namespace sfg::obs

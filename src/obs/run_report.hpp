@@ -73,6 +73,12 @@ bool write_json_file(const std::string& path, const json& v);
 /// Call from one rank per traversal (the gathering rank).
 void append_traversal_report(json entry);
 
+/// Attach (or replace) an extra top-level section of the metrics report
+/// and rewrite it — how post-run attributions that no traversal owns get
+/// in (sfg_cli --em attaches the page-cache frame heat as "cache_heat").
+/// No-op when no path is configured.
+void set_metrics_report_section(const std::string& key, json v);
+
 /// Drop all collected traversal entries (tests).
 void clear_traversal_reports();
 

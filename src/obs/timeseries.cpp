@@ -34,14 +34,19 @@ constexpr const char* kTracked[kTsTracked] = {
     "cache.hits",
     "cache.misses",
     "cache.writebacks",
+    "comm.bytes_sent",
+    "cache.bytes_requested",
+    "cache.dev_bytes_read",
+    "cache.dev_bytes_written",
 };
 
 /// Short keys for the JSONL "rates"/"totals" objects (the registry name
 /// minus redundant prefixes; sfg_top labels come from here too).
 constexpr const char* kTrackedKey[kTsTracked] = {
-    "visitors_executed", "visitors_sent",  "packets_sent",
-    "packet_bytes_sent", "packets_dropped", "cache_hits",
-    "cache_misses",      "cache_writebacks",
+    "visitors_executed", "visitors_sent",    "packets_sent",
+    "packet_bytes_sent", "packets_dropped",  "cache_hits",
+    "cache_misses",      "cache_writebacks", "comm_bytes_sent",
+    "bytes_requested",   "dev_bytes_read",   "dev_bytes_written",
 };
 
 /// One rank's sampler: prev-value state for diffing, the sample ring and

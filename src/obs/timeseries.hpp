@@ -41,7 +41,7 @@
 namespace sfg::obs {
 
 /// Registry counters the sampler tracks (ts_tracked_name to enumerate).
-inline constexpr std::size_t kTsTracked = 8;
+inline constexpr std::size_t kTsTracked = 12;
 [[nodiscard]] const char* ts_tracked_name(std::size_t i) noexcept;
 
 /// Samples kept in memory per rank (the JSONL file keeps everything).

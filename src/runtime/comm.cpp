@@ -38,6 +38,7 @@ comm::comm(world& w, int rank)
     : world_(&w),
       rank_(rank),
       sent_per_dest_(static_cast<std::size_t>(w.size()), 0),
+      bytes_per_dest_(static_cast<std::size_t>(w.size()), 0),
       m_messages_sent_(
           obs::metrics_registry::instance().get_counter("comm.messages_sent")),
       m_bytes_sent_(
@@ -84,8 +85,13 @@ void comm::post(int dest, message m) {
   ++stats_.messages_sent;
   stats_.bytes_sent += bytes;
   ++sent_per_dest_[static_cast<std::size_t>(dest)];
-  m_messages_sent_.add(1);
-  m_bytes_sent_.add(bytes);
+  bytes_per_dest_[static_cast<std::size_t>(dest)] += bytes;
+  // The time-series sampler diffs comm.* for live transport rates, so the
+  // registry updates stay live when only SFG_TS_INTERVAL_MS is set.
+  if (obs::metrics_on() || obs::ts_on()) {
+    m_messages_sent_.add_raw(1);
+    m_bytes_sent_.add_raw(bytes);
+  }
 }
 
 void comm::fault_send(int dest, message m) {
@@ -161,8 +167,10 @@ bool comm::try_recv(message& out) {
   ep.inbox.pop_front();
   ++stats_.messages_received;
   stats_.bytes_received += out.payload.size();
-  m_messages_received_.add(1);
-  m_bytes_received_.add(out.payload.size());
+  if (obs::metrics_on() || obs::ts_on()) {
+    m_messages_received_.add_raw(1);
+    m_bytes_received_.add_raw(out.payload.size());
+  }
   return true;
 }
 
@@ -184,6 +192,7 @@ void comm::barrier() { world_->barrier_.arrive_and_wait(); }
 void comm::reset_stats() {
   stats_ = traffic_stats{};
   sent_per_dest_.assign(sent_per_dest_.size(), 0);
+  bytes_per_dest_.assign(bytes_per_dest_.size(), 0);
 }
 
 }  // namespace sfg::runtime

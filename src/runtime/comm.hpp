@@ -237,6 +237,13 @@ class comm {
     return sent_per_dest_;
   }
 
+  /// wire bytes sent from this rank to each destination — the transport's
+  /// own row of the data-movement matrix (mailbox payloads + control
+  /// traffic), unconditional like sent_per_dest().
+  [[nodiscard]] std::span<const std::uint64_t> bytes_per_dest() const noexcept {
+    return bytes_per_dest_;
+  }
+
   void reset_stats();
 
  private:
@@ -266,6 +273,7 @@ class comm {
   int rank_;
   traffic_stats stats_;
   std::vector<std::uint64_t> sent_per_dest_;
+  std::vector<std::uint64_t> bytes_per_dest_;
   /// Process-wide registry counters (handles cached at construction; each
   /// add is one metrics_on() branch when the registry is disabled).
   obs::counter& m_messages_sent_;

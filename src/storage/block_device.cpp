@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <thread>
@@ -12,6 +13,17 @@
 #include "obs/metrics.hpp"
 
 namespace sfg::storage {
+
+namespace {
+
+std::uint64_t now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // memory_device
@@ -128,6 +140,9 @@ void sim_nvram_device::release_slot() {
 }
 
 void sim_nvram_device::read(std::uint64_t offset, std::span<std::byte> out) {
+  // Time the whole operation including the queue-slot wait: with many
+  // concurrent requests the wait *is* the interesting number (§II-B).
+  const std::uint64_t t0 = obs::io_hist_on() ? now_us() : 0;
   acquire_slot();
   // The sleep models device service time; concurrent readers overlap their
   // sleeps up to queue_depth, exactly like NAND channel parallelism.
@@ -137,17 +152,20 @@ void sim_nvram_device::read(std::uint64_t offset, std::span<std::byte> out) {
     const std::scoped_lock lock(mu_);
     ++stats_.reads;
     stats_.bytes_read += out.size();
+    if (t0 != 0) stats_.read_us.add(now_us() - t0);
   }
-  if (obs::metrics_on()) {
+  if (obs::metrics_on() || obs::ts_on()) {
     auto& reg = obs::metrics_registry::instance();
     reg.get_counter("nvram.reads").add_raw(1);
     reg.get_counter("nvram.bytes_read").add_raw(out.size());
+    if (t0 != 0) reg.get_histogram("nvram.read_us").record_raw(now_us() - t0);
   }
   release_slot();
 }
 
 void sim_nvram_device::write(std::uint64_t offset,
                              std::span<const std::byte> data) {
+  const std::uint64_t t0 = obs::io_hist_on() ? now_us() : 0;
   acquire_slot();
   std::this_thread::sleep_for(params_.write_latency);
   inner_->write(offset, data);
@@ -155,11 +173,13 @@ void sim_nvram_device::write(std::uint64_t offset,
     const std::scoped_lock lock(mu_);
     ++stats_.writes;
     stats_.bytes_written += data.size();
+    if (t0 != 0) stats_.write_us.add(now_us() - t0);
   }
-  if (obs::metrics_on()) {
+  if (obs::metrics_on() || obs::ts_on()) {
     auto& reg = obs::metrics_registry::instance();
     reg.get_counter("nvram.writes").add_raw(1);
     reg.get_counter("nvram.bytes_written").add_raw(data.size());
+    if (t0 != 0) reg.get_histogram("nvram.write_us").record_raw(now_us() - t0);
   }
   release_slot();
 }

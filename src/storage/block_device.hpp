@@ -19,9 +19,24 @@
 #include <string>
 #include <vector>
 
+#include "obs/histogram.hpp"
 #include "obs/stats_fields.hpp"
 
 namespace sfg::storage {
+
+/// Shared I/O accounting for instrumented devices (sim_nvram_device,
+/// mmap_device): operation/byte counters plus per-operation latency
+/// histograms (µs).  Counters are unconditional (one u64 add under the
+/// device's stats lock); the histograms read clocks, so devices record
+/// them only while obs::io_hist_on().
+struct device_io_stats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  obs::histogram read_us;
+  obs::histogram write_us;
+};
 
 class block_device {
  public:
@@ -94,12 +109,10 @@ class sim_nvram_device final : public block_device {
   void write(std::uint64_t offset, std::span<const std::byte> data) override;
   [[nodiscard]] std::uint64_t size_bytes() const override;
 
-  struct io_stats {
-    std::uint64_t reads = 0;
-    std::uint64_t writes = 0;
-    std::uint64_t bytes_read = 0;
-    std::uint64_t bytes_written = 0;
-  };
+  /// Latency histograms measure the full operation as a caller sees it:
+  /// queue-slot wait + modeled device latency + inner op — the number the
+  /// paper's "needs many concurrent requests" claim is about.
+  using io_stats = device_io_stats;
   [[nodiscard]] io_stats stats() const;
   void reset_stats();
 
@@ -127,12 +140,16 @@ void write_array(block_device& dev, std::uint64_t offset,
 }  // namespace sfg::storage
 
 /// Reflection for the shared stats conventions (delta / add / reset /
-/// to_json / to_registry) — see obs/stats_fields.hpp.
+/// to_json / to_registry) — see obs/stats_fields.hpp.  One specialization
+/// covers every instrumented device (sim_nvram_device::io_stats is an
+/// alias of device_io_stats).
 template <>
-struct sfg::obs::stats_traits<sfg::storage::sim_nvram_device::io_stats> {
-  using S = sfg::storage::sim_nvram_device::io_stats;
+struct sfg::obs::stats_traits<sfg::storage::device_io_stats> {
+  using S = sfg::storage::device_io_stats;
   static constexpr auto fields = std::make_tuple(
       stats_field{"reads", &S::reads}, stats_field{"writes", &S::writes},
       stats_field{"bytes_read", &S::bytes_read},
-      stats_field{"bytes_written", &S::bytes_written});
+      stats_field{"bytes_written", &S::bytes_written},
+      stats_field{"read_us", &S::read_us},
+      stats_field{"write_us", &S::write_us});
 };

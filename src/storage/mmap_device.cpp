@@ -5,10 +5,24 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace sfg::storage {
+
+namespace {
+
+std::uint64_t now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 mmap_device::mmap_device(const std::string& path, std::uint64_t size_bytes)
     : size_(size_bytes) {
@@ -45,10 +59,15 @@ void mmap_device::read(std::uint64_t offset, std::span<std::byte> out) {
     std::memset(out.data(), 0, out.size());
     return;
   }
+  const std::uint64_t t0 = obs::io_hist_on() ? now_us() : 0;
   const std::uint64_t n =
       std::min<std::uint64_t>(out.size(), size_ - offset);
   std::memcpy(out.data(), map_ + offset, n);
   if (n < out.size()) std::memset(out.data() + n, 0, out.size() - n);
+  const std::scoped_lock lock(stats_mu_);
+  ++stats_.reads;
+  stats_.bytes_read += out.size();
+  if (t0 != 0) stats_.read_us.add(now_us() - t0);
 }
 
 void mmap_device::write(std::uint64_t offset,
@@ -56,7 +75,12 @@ void mmap_device::write(std::uint64_t offset,
   if (offset + data.size() > size_) {
     throw std::out_of_range("mmap_device: write beyond fixed mapping");
   }
+  const std::uint64_t t0 = obs::io_hist_on() ? now_us() : 0;
   std::memcpy(map_ + offset, data.data(), data.size());
+  const std::scoped_lock lock(stats_mu_);
+  ++stats_.writes;
+  stats_.bytes_written += data.size();
+  if (t0 != 0) stats_.write_us.add(now_us() - t0);
 }
 
 void mmap_device::sync() {
@@ -64,6 +88,16 @@ void mmap_device::sync() {
     throw std::runtime_error("mmap_device: msync failed: " +
                              std::string(std::strerror(errno)));
   }
+}
+
+mmap_device::io_stats mmap_device::stats() const {
+  const std::scoped_lock lock(stats_mu_);
+  return stats_;
+}
+
+void mmap_device::reset_stats() {
+  const std::scoped_lock lock(stats_mu_);
+  stats_ = io_stats{};
 }
 
 }  // namespace sfg::storage

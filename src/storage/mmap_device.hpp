@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "storage/block_device.hpp"
@@ -29,10 +30,19 @@ class mmap_device final : public block_device {
   /// Flush dirty pages of the mapping to the file.
   void sync();
 
+  /// Latency histograms time the memcpy through the mapping, so a major
+  /// fault (page not resident) shows up as a tail bucket — the mmap
+  /// analogue of sim_nvram_device's queue-wait-inclusive timing.
+  using io_stats = device_io_stats;
+  [[nodiscard]] io_stats stats() const;
+  void reset_stats();
+
  private:
   int fd_ = -1;
   std::byte* map_ = nullptr;
   std::uint64_t size_ = 0;
+  mutable std::mutex stats_mu_;
+  io_stats stats_;
 };
 
 }  // namespace sfg::storage

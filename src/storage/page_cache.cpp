@@ -1,5 +1,6 @@
 #include "storage/page_cache.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <thread>
@@ -8,6 +9,24 @@
 #include "obs/trace.hpp"
 
 namespace sfg::storage {
+
+namespace {
+
+std::uint64_t now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Spread page ids over the 256 reuse-distance slots (splitmix-style mix;
+/// sequential scans must not all land in one slot).
+std::size_t reuse_slot_of(std::uint64_t page_id) {
+  page_id *= 0x9E3779B97F4A7C15ull;
+  return static_cast<std::size_t>(page_id >> 56);
+}
+
+}  // namespace
 
 page_cache::page_cache(block_device& dev, config cfg)
     : dev_(&dev),
@@ -20,7 +39,19 @@ page_cache::page_cache(block_device& dev, config cfg)
       m_evictions_(
           obs::metrics_registry::instance().get_counter("cache.evictions")),
       m_writebacks_(
-          obs::metrics_registry::instance().get_counter("cache.writebacks")) {
+          obs::metrics_registry::instance().get_counter("cache.writebacks")),
+      m_bytes_requested_(obs::metrics_registry::instance().get_counter(
+          "cache.bytes_requested")),
+      m_dev_bytes_read_(obs::metrics_registry::instance().get_counter(
+          "cache.dev_bytes_read")),
+      m_dev_bytes_written_(obs::metrics_registry::instance().get_counter(
+          "cache.dev_bytes_written")),
+      m_read_us_(
+          obs::metrics_registry::instance().get_histogram("cache.read_us")),
+      m_write_us_(
+          obs::metrics_registry::instance().get_histogram("cache.write_us")),
+      m_fault_us_(
+          obs::metrics_registry::instance().get_histogram("cache.fault_us")) {
   if (cfg.page_size == 0 || cfg.num_frames == 0) {
     throw std::invalid_argument("page_cache: page_size and num_frames must be > 0");
   }
@@ -107,11 +138,29 @@ std::chrono::nanoseconds page_cache::draw_io_delay_locked() {
   return fault_stream_.duration_up_to(cfg_.faults.max_io_delay);
 }
 
-page_cache::page_ref page_cache::get(std::uint64_t page_id) {
+page_cache::page_ref page_cache::get(std::uint64_t page_id,
+                                     std::size_t requested_bytes) {
   std::unique_lock lock(mu_);
+  stats_.bytes_requested += requested_bytes;
+  if (obs::metrics_on() || obs::ts_on()) {
+    m_bytes_requested_.add_raw(requested_bytes);
+  }
+  const bool io_hist = obs::io_hist_on();
+  if (io_hist) {
+    // Sampled reuse distance: clock = accesses so far; a slot collision
+    // simply overwrites (that is the sampling, not an error).
+    const std::uint64_t clk = stats_.hits + stats_.misses;
+    reuse_slot& slot = reuse_[reuse_slot_of(page_id)];
+    if (slot.page == page_id && clk > slot.clock) {
+      stats_.reuse_dist.add(clk - slot.clock);
+    }
+    slot.page = page_id;
+    slot.clock = clk;
+  }
   if (faults_on_ && fault_stream_.decide(cfg_.faults.evict_prob)) {
     fault_evict_locked();
   }
+  std::uint64_t fault_t0 = 0;  // set on first miss; 0 = hit path
   for (;;) {
     if (const auto it = page_to_frame_.find(page_id);
         it != page_to_frame_.end()) {
@@ -124,6 +173,7 @@ page_cache::page_ref page_cache::get(std::uint64_t page_id) {
       }
       ++f.pins;
       f.referenced = true;
+      ++f.touches;
       ++stats_.hits;
       // Widened gate (not counter::add): the time-series sampler diffs
       // cache.* registry counters, so they must tick when only
@@ -131,6 +181,7 @@ page_cache::page_ref page_cache::get(std::uint64_t page_id) {
       if (obs::metrics_on() || obs::ts_on()) m_hits_.add_raw(1);
       return page_ref(this, it->second, page_id);
     }
+    if (io_hist && fault_t0 == 0) fault_t0 = now_us();
 
     const std::size_t v = find_victim_locked();
     if (v == frames_.size()) {
@@ -150,6 +201,7 @@ page_cache::page_ref page_cache::get(std::uint64_t page_id) {
       const std::uint64_t old_page = f.page_id;
       std::vector<std::byte> copy = f.data;
       const auto io_delay = draw_io_delay_locked();
+      const std::uint64_t w0 = io_hist ? now_us() : 0;
       {
         // io_wait phase: only the unlocked device time counts — lock
         // contention stays attributed to whatever phase the caller is in.
@@ -163,7 +215,17 @@ page_cache::page_ref page_cache::get(std::uint64_t page_id) {
       }
       f.loading = false;
       ++stats_.writebacks;
-      if (obs::metrics_on() || obs::ts_on()) m_writebacks_.add_raw(1);
+      ++stats_.evict_writeback;
+      stats_.dev_bytes_written += copy.size();
+      if (io_hist) {
+        const std::uint64_t us = now_us() - w0;
+        stats_.write_us.add(us);
+        m_write_us_.record_raw(us);
+      }
+      if (obs::metrics_on() || obs::ts_on()) {
+        m_writebacks_.add_raw(1);
+        m_dev_bytes_written_.add_raw(copy.size());
+      }
       cv_.notify_all();
       continue;  // state changed while unlocked; restart the search
     }
@@ -184,11 +246,17 @@ page_cache::page_ref page_cache::get(std::uint64_t page_id) {
     f.pins = 1;
     f.referenced = true;
     f.dirty = false;
+    ++f.touches;
     f.data.assign(cfg_.page_size, std::byte{0});
     page_to_frame_[page_id] = v;
     ++stats_.misses;
-    if (obs::metrics_on() || obs::ts_on()) m_misses_.add_raw(1);
+    stats_.dev_bytes_read += cfg_.page_size;
+    if (obs::metrics_on() || obs::ts_on()) {
+      m_misses_.add_raw(1);
+      m_dev_bytes_read_.add_raw(cfg_.page_size);
+    }
     const auto io_delay = draw_io_delay_locked();
+    const std::uint64_t r0 = io_hist ? now_us() : 0;
     {
       const obs::phase_scope pscope(obs::phase::io_wait);
       obs::trace_span span("cache.miss_fill", "storage");
@@ -199,6 +267,15 @@ page_cache::page_ref page_cache::get(std::uint64_t page_id) {
       lock.lock();
     }
     f.loading = false;
+    if (io_hist) {
+      const std::uint64_t done = now_us();
+      stats_.read_us.add(done - r0);
+      m_read_us_.record_raw(done - r0);
+      if (fault_t0 != 0) {
+        stats_.fault_us.add(done - fault_t0);
+        m_fault_us_.record_raw(done - fault_t0);
+      }
+    }
     cv_.notify_all();
     return page_ref(this, v, page_id);
   }
@@ -222,6 +299,7 @@ void page_cache::mark_dirty(std::size_t frame_idx) {
 
 void page_cache::flush_dirty() {
   std::unique_lock lock(mu_);
+  const bool io_hist = obs::io_hist_on();
   for (std::size_t i = 0; i < frames_.size(); ++i) {
     frame& f = frames_[i];
     if (f.page_id == kNoPage || !f.dirty || f.loading) continue;
@@ -231,6 +309,7 @@ void page_cache::flush_dirty() {
     const std::uint64_t page = f.page_id;
     std::vector<std::byte> copy = f.data;
     const auto io_delay = draw_io_delay_locked();
+    const std::uint64_t w0 = io_hist ? now_us() : 0;
     {
       const obs::phase_scope pscope(obs::phase::io_wait);
       obs::trace_span span("cache.writeback", "storage");
@@ -242,7 +321,16 @@ void page_cache::flush_dirty() {
     }
     f.loading = false;
     ++stats_.writebacks;
-    if (obs::metrics_on() || obs::ts_on()) m_writebacks_.add_raw(1);
+    stats_.dev_bytes_written += copy.size();
+    if (io_hist) {
+      const std::uint64_t us = now_us() - w0;
+      stats_.write_us.add(us);
+      m_write_us_.record_raw(us);
+    }
+    if (obs::metrics_on() || obs::ts_on()) {
+      m_writebacks_.add_raw(1);
+      m_dev_bytes_written_.add_raw(copy.size());
+    }
     cv_.notify_all();
   }
 }
@@ -250,6 +338,42 @@ void page_cache::flush_dirty() {
 page_cache::cache_stats page_cache::stats() const {
   const std::scoped_lock lock(mu_);
   return stats_;
+}
+
+obs::json page_cache::heat_json(std::size_t top_n) const {
+  struct hot {
+    std::size_t frame;
+    std::uint64_t page;
+    std::uint64_t touches;
+  };
+  std::vector<hot> hots;
+  {
+    const std::scoped_lock lock(mu_);
+    hots.reserve(frames_.size());
+    for (std::size_t i = 0; i < frames_.size(); ++i) {
+      if (frames_[i].touches > 0) {
+        hots.push_back({i, frames_[i].page_id, frames_[i].touches});
+      }
+    }
+  }
+  const std::size_t n = std::min(top_n, hots.size());
+  std::partial_sort(hots.begin(), hots.begin() + static_cast<std::ptrdiff_t>(n),
+                    hots.end(),
+                    [](const hot& a, const hot& b) { return a.touches > b.touches; });
+  obs::json out = obs::json::object();
+  out["frames"] = static_cast<std::uint64_t>(frames_.size());
+  out["touched"] = static_cast<std::uint64_t>(hots.size());
+  obs::json top = obs::json::array();
+  for (std::size_t i = 0; i < n; ++i) {
+    obs::json entry = obs::json::object();
+    entry["frame"] = static_cast<std::uint64_t>(hots[i].frame);
+    // kNoPage means the frame was fault-evicted after its touches.
+    entry["page"] = hots[i].page;
+    entry["touches"] = hots[i].touches;
+    top.push_back(std::move(entry));
+  }
+  out["top"] = std::move(top);
+  return out;
 }
 
 void page_cache::reset_stats() {

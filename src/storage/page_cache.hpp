@@ -11,6 +11,7 @@
 /// Dirty pages are written back on eviction and on flush_dirty().
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -20,6 +21,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/histogram.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/stats_fields.hpp"
 #include "storage/block_device.hpp"
@@ -89,7 +92,14 @@ class page_cache {
   /// Pin page `page_id` (device bytes [page_id * page_size, +page_size)),
   /// faulting it in from the device on a miss.  Blocks only if every frame
   /// is pinned or the page is mid-load by another thread.
-  page_ref get(std::uint64_t page_id);
+  ///
+  /// `requested_bytes` is the caller's declared demand from this page (a
+  /// paged_array element access passes sizeof(T), a cursor its span) — the
+  /// denominator of the read/write-amplification pair: the device always
+  /// moves whole pages, so amplification = dev_bytes_moved /
+  /// bytes_requested.  The one-argument form charges a full page.
+  page_ref get(std::uint64_t page_id) { return get(page_id, cfg_.page_size); }
+  page_ref get(std::uint64_t page_id, std::size_t requested_bytes);
 
   /// Write back every dirty page (does not evict).
   void flush_dirty();
@@ -100,12 +110,45 @@ class page_cache {
   struct cache_stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
-    std::uint64_t evictions = 0;
+    std::uint64_t evictions = 0;        ///< capacity evictions (clean victim)
     std::uint64_t writebacks = 0;
     std::uint64_t fault_evictions = 0;  ///< frames dropped by injected pressure
     std::uint64_t fault_io_delays = 0;  ///< device I/Os artificially delayed
+    /// I/O attribution (DESIGN.md §12).  The amplification pair: callers
+    /// declare their demand per get() (bytes_requested); the device always
+    /// moves whole pages (dev_bytes_read on miss fills, dev_bytes_written
+    /// on writebacks).  read amplification = dev_bytes_read /
+    /// bytes_requested.
+    std::uint64_t bytes_requested = 0;
+    std::uint64_t dev_bytes_read = 0;
+    std::uint64_t dev_bytes_written = 0;
+    /// Eviction-cause counter missing above: victims that were dirty and
+    /// stalled the miss on a writeback first (capacity evictions of clean
+    /// frames stay in `evictions`, injected drops in `fault_evictions`).
+    std::uint64_t evict_writeback = 0;
+    /// Per-operation latency histograms (µs), recorded only while
+    /// obs::io_hist_on() — clock reads cost too much for the always-on
+    /// path.  fault_us is the full miss service time a caller observed
+    /// (victim search + any writeback stall + fill); read_us / write_us
+    /// are the unlocked device sections (injected delays included — they
+    /// model slow media).
+    obs::histogram read_us;
+    obs::histogram write_us;
+    obs::histogram fault_us;
+    /// Sampled reuse distance: accesses between touches of the same page,
+    /// tracked through a fixed 256-slot hash table (collisions overwrite —
+    /// that is the sampling).  Small distances = the working set fits;
+    /// mass in high buckets = thrashing.
+    obs::histogram reuse_dist;
   };
   [[nodiscard]] cache_stats stats() const;
+
+  /// Frame heat: per-frame touch counts (hits + claims) since
+  /// construction.  Returns {"frames": N, "touched": M, "top": [{frame,
+  /// page, touches} x top_n]} sorted hottest-first — sfg_heat's frame
+  /// panel, and the attribution for "which pages are hot" questions the
+  /// rank x rank matrix cannot answer.
+  [[nodiscard]] obs::json heat_json(std::size_t top_n) const;
   /// Zero this cache's stats_ snapshot only.  The cache.* registry
   /// counters deliberately keep counting: they are process-wide and
   /// monotonic (shared across caches, diffed into rates by the
@@ -122,7 +165,17 @@ class page_cache {
     bool dirty = false;
     bool loading = false;     ///< device I/O in flight for this frame
     bool referenced = false;  ///< CLOCK reference bit
+    std::uint64_t touches = 0;  ///< hits + claims; heat_json() ranks by this
     std::vector<std::byte> data;
+  };
+
+  /// One slot of the sampled reuse-distance estimator (see
+  /// cache_stats::reuse_dist); fixed-size, so the estimator never
+  /// allocates.  `clock` is the access count (hits + misses) at the last
+  /// touch of `page`.
+  struct reuse_slot {
+    std::uint64_t page = kNoPage;
+    std::uint64_t clock = 0;
   };
 
   void unpin(std::size_t frame_idx);
@@ -150,6 +203,7 @@ class page_cache {
   std::unordered_map<std::uint64_t, std::size_t> page_to_frame_;
   std::size_t clock_hand_ = 0;
   cache_stats stats_;
+  std::array<reuse_slot, 256> reuse_{};  // guarded by mu_
   bool faults_on_ = false;
   util::chaos_stream fault_stream_;  // guarded by mu_
   /// Process-wide registry counters (handles cached at construction; each
@@ -160,6 +214,14 @@ class page_cache {
   obs::counter& m_misses_;
   obs::counter& m_evictions_;
   obs::counter& m_writebacks_;
+  obs::counter& m_bytes_requested_;
+  obs::counter& m_dev_bytes_read_;
+  obs::counter& m_dev_bytes_written_;
+  /// Registry twins of the per-instance latency histograms: process-wide,
+  /// so every run report's metrics snapshot carries cache I/O latency.
+  obs::histogram_metric& m_read_us_;
+  obs::histogram_metric& m_write_us_;
+  obs::histogram_metric& m_fault_us_;
 };
 
 }  // namespace sfg::storage
@@ -174,5 +236,13 @@ struct sfg::obs::stats_traits<sfg::storage::page_cache::cache_stats> {
       stats_field{"evictions", &S::evictions},
       stats_field{"writebacks", &S::writebacks},
       stats_field{"fault_evictions", &S::fault_evictions},
-      stats_field{"fault_io_delays", &S::fault_io_delays});
+      stats_field{"fault_io_delays", &S::fault_io_delays},
+      stats_field{"bytes_requested", &S::bytes_requested},
+      stats_field{"dev_bytes_read", &S::dev_bytes_read},
+      stats_field{"dev_bytes_written", &S::dev_bytes_written},
+      stats_field{"evict_writeback", &S::evict_writeback},
+      stats_field{"read_us", &S::read_us},
+      stats_field{"write_us", &S::write_us},
+      stats_field{"fault_us", &S::fault_us},
+      stats_field{"reuse_dist", &S::reuse_dist});
 };

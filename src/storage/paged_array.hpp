@@ -6,6 +6,7 @@
 /// §V-A, is what makes visitor ordering by vertex id pay off here).
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <cstring>
@@ -39,7 +40,9 @@ class paged_array {
     const std::uint64_t byte_off = base_ + i * sizeof(T);
     const std::uint64_t page = byte_off / cache_->page_size();
     const std::size_t in_page = byte_off % cache_->page_size();
-    const auto ref = cache_->get(page);
+    // A random access demands one element; the full page the device moves
+    // for it is the amplification the cache accounts.
+    const auto ref = cache_->get(page, sizeof(T));
     T out;
     std::memcpy(&out, ref.data().data() + in_page, sizeof(T));
     return out;
@@ -74,7 +77,14 @@ class paged_array {
       const std::uint64_t byte_off = arr_->base_ + index_ * sizeof(T);
       const std::uint64_t page = byte_off / arr_->cache_->page_size();
       in_page_ = byte_off % arr_->cache_->page_size();
-      page_ = arr_->cache_->get(page);
+      // A scan consumes the rest of this page (bounded by the elements
+      // left), so charge that span — sequential reads then show
+      // amplification near 1 while random probes show page_size/sizeof(T).
+      const std::size_t left_in_page =
+          arr_->cache_->page_size() - in_page_;
+      const std::size_t left_in_array =
+          (arr_->count_ - index_) * sizeof(T);
+      page_ = arr_->cache_->get(page, std::min(left_in_page, left_in_array));
     }
 
     const paged_array* arr_;

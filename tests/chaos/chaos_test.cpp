@@ -13,6 +13,7 @@
 #include <filesystem>
 #include <map>
 #include <set>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,8 @@
 #include "core/triangles.hpp"
 #include "gen/generators.hpp"
 #include "graph/distributed_graph.hpp"
+#include "mailbox/routed_mailbox.hpp"
+#include "obs/metrics.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_context.hpp"
@@ -371,6 +374,90 @@ TEST(Chaos, TimeSeriesSurvivesFaults) {
   obs::set_ts_interval_ms(saved_interval);
   std::error_code ec;
   fs::remove_all(dir, ec);
+}
+
+TEST(Chaos, TrafficMatrixConservesRecordsUnderFaults) {
+  // Conservation law of the rank x rank traffic matrix (DESIGN.md §12):
+  // for every pair (s, d), records originated on s for d equal records
+  // delivered on d from s — even while the transport duplicates, delays,
+  // and reorders packets.  A duplicated packet that slipped past the
+  // mailbox dedup would inflate a delivered cell; a lost record would
+  // deflate one.  The per-pair counts are deliberately asymmetric so a
+  // transposed or misindexed row cannot cancel out.
+  obs::set_comm_matrix_enabled(true);
+
+  struct rec {
+    std::uint64_t from, i, pad;
+  };
+  // Records rank s addresses to rank d (asymmetric, all nonzero).
+  const auto pair_records = [](int s, int d) {
+    return 8 + (static_cast<std::uint64_t>(s) * 31 +
+                static_cast<std::uint64_t>(d) * 7) %
+                   17;
+  };
+
+  run_sweep(
+      {.ranks = 4, .num_seeds = 16, .base_seed = 0x3A781C},
+      [&](comm& c, const schedule& s) {
+        (void)s;  // the transport already runs the seed's fault schedule
+        constexpr int kMailTag = 3;
+        const int p = c.size();
+        // direct topology: no relays, so after the barrier below every
+        // packet has reached its final destination and the matrix is
+        // quiescent.  Tiny aggregation budget -> many packets -> many
+        // duplicated/reordered packets per sweep.
+        mailbox::routed_mailbox mb(c,
+                                   {mailbox::topology::direct, 256, kMailTag});
+        std::uint64_t expected = 0;
+        for (int src = 0; src < p; ++src) {
+          expected += pair_records(src, c.rank());
+        }
+        rec r{static_cast<std::uint64_t>(c.rank()), 0, 0};
+        for (int d = 0; d < p; ++d) {
+          const std::uint64_t n = pair_records(c.rank(), d);
+          for (std::uint64_t i = 0; i < n; ++i) {
+            r.i = i;
+            mb.send(d, runtime::as_bytes_of(r));
+          }
+        }
+        mb.flush();
+        std::uint64_t delivered = 0;
+        const auto count = [&](int, std::span<const std::byte> bytes) {
+          delivered += bytes.size() / sizeof(rec);
+        };
+        for (int spin = 0; spin < 200000 && delivered < expected; ++spin) {
+          mb.drain_local(count);
+          runtime::message m;
+          while (c.try_recv(m)) mb.process_packet(m, count);
+          std::this_thread::sleep_for(std::chrono::microseconds(10));
+        }
+        ASSERT_EQ(delivered, expected)
+            << "rank " << c.rank() << " never reached quiescence";
+        c.barrier();
+
+        // Gather all ranks' sent/delivered rows and check the law.
+        const auto& m = mb.matrix();
+        const auto all_sent = c.all_gatherv(
+            std::span<const std::uint64_t>(m.sent_records), nullptr);
+        const auto all_delivered = c.all_gatherv(
+            std::span<const std::uint64_t>(m.delivered_records), nullptr);
+        ASSERT_EQ(all_sent.size(), static_cast<std::size_t>(p) * p);
+        ASSERT_EQ(all_delivered.size(), static_cast<std::size_t>(p) * p);
+        for (int src = 0; src < p; ++src) {
+          for (int d = 0; d < p; ++d) {
+            const auto sent = all_sent[static_cast<std::size_t>(src) * p + d];
+            const auto del =
+                all_delivered[static_cast<std::size_t>(d) * p + src];
+            EXPECT_EQ(sent, pair_records(src, d))
+                << "sent_records[" << src << "][" << d << "]";
+            EXPECT_EQ(del, sent) << "delivered_records[" << d << "][" << src
+                                 << "] != sent_records[" << src << "][" << d
+                                 << "]";
+          }
+        }
+      });
+
+  obs::set_comm_matrix_enabled(false);
 }
 
 TEST(Chaos, ScheduleDerivationIsDeterministic) {

@@ -20,6 +20,7 @@
 #include <new>
 #include <span>
 
+#include "obs/metrics.hpp"
 #include "runtime/runtime.hpp"
 
 namespace {
@@ -115,6 +116,88 @@ TEST(MailboxAlloc, RemotePathAllocatesPerPacketNotPerRecord) {
   const std::uint64_t budget = static_cast<std::uint64_t>(kRounds) * 8;
   EXPECT_LE(delta, budget)
       << "remote path allocation is scaling with records, not packets";
+  EXPECT_GT(sink, 0u);
+}
+
+// The traffic matrix must not change either claim.  Its rows are
+// preallocated at mailbox construction and the latency histogram is a
+// fixed bucket array, so with SFG_COMM_MATRIX on — even with every
+// packet latency-sampled — the steady-state budgets are the same as
+// with it off.
+class MailboxMatrixAlloc : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_comm_matrix_enabled(true);
+    obs::set_comm_lat_sample(1);  // stamp every packet: worst case
+  }
+  void TearDown() override {
+    obs::set_comm_matrix_enabled(false);
+    obs::set_comm_lat_sample(1);
+  }
+};
+
+TEST_F(MailboxMatrixAlloc, LocalDrainStaysAllocationFree) {
+  runtime::world w(1);
+  auto& c = w.rank_comm(0);
+  routed_mailbox mb(c, {topology::direct, 1 << 16, kMailTag});
+  record24 r{1, 2, 3};
+  std::uint64_t sink = 0;
+  auto round = [&] {
+    for (int i = 0; i < kRecordsPerRound; ++i) {
+      r.a = static_cast<std::uint64_t>(i);
+      mb.send(0, runtime::as_bytes_of(r));
+    }
+    mb.drain_local([&](int, std::span<const std::byte> bytes) {
+      sink += bytes.size();
+    });
+  };
+  for (int i = 0; i < 4; ++i) round();
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 256; ++i) round();
+  const std::uint64_t delta =
+      g_allocations.load(std::memory_order_relaxed) - before;
+
+  EXPECT_EQ(delta, 0u)
+      << "traffic-matrix accounting allocated on the self-send hot path";
+  EXPECT_GT(sink, 0u);
+}
+
+TEST_F(MailboxMatrixAlloc, RemotePathKeepsPerPacketBudget) {
+  runtime::world w(2);
+  auto& c0 = w.rank_comm(0);
+  auto& c1 = w.rank_comm(1);
+  routed_mailbox m0(c0, {topology::direct, 1 << 16, kMailTag});
+  routed_mailbox m1(c1, {topology::direct, 1 << 16, kMailTag});
+  record24 r{1, 2, 3};
+  std::uint64_t sink = 0;
+  auto round = [&] {
+    for (int i = 0; i < kRecordsPerRound; ++i) {
+      r.a = static_cast<std::uint64_t>(i);
+      m0.send(1, runtime::as_bytes_of(r));
+    }
+    m0.flush();
+    runtime::message m;
+    while (c1.try_recv(m)) {
+      m1.process_packet(m, [&](int, std::span<const std::byte> bytes) {
+        sink += bytes.size();
+      });
+    }
+  };
+  for (int i = 0; i < 8; ++i) round();
+
+  constexpr int kRounds = 256;
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < kRounds; ++i) round();
+  const std::uint64_t delta =
+      g_allocations.load(std::memory_order_relaxed) - before;
+
+  // Same budget as the matrix-off remote test: matrix rows and the
+  // latency histogram are preallocated, stamping reads a clock, and the
+  // receive side indexes into existing vectors.
+  const std::uint64_t budget = static_cast<std::uint64_t>(kRounds) * 8;
+  EXPECT_LE(delta, budget)
+      << "traffic-matrix accounting is allocating per packet or per record";
   EXPECT_GT(sink, 0u);
 }
 

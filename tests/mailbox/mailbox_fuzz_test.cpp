@@ -127,7 +127,7 @@ TEST(MailboxFuzz, TruncatedPacketsRejectedWithoutConsumingSeq) {
     m.tag = kMailTag;
     m.payload.assign(intact.begin(),
                      intact.begin() + static_cast<std::ptrdiff_t>(cut));
-    if (cut >= 8) {
+    if (cut >= sizeof(std::uint64_t)) {
       const std::uint64_t unique_seq = 1000 + cut;
       std::memcpy(m.payload.data(), &unique_seq, sizeof(unique_seq));
     }
@@ -145,10 +145,10 @@ TEST(MailboxFuzz, TruncatedPacketsRejectedWithoutConsumingSeq) {
     m.source = 0;
     m.tag = kMailTag;
     m.payload = intact;
-    // First record header starts after the 8-byte packet header; its size
-    // field is the u32 at offset 8 + 4.
+    // First record header starts after the 16-byte packet header (seq +
+    // latency stamp); its size field is the u32 at offset 16 + 4.
     const std::uint32_t huge = 0x7fffffff;
-    std::memcpy(m.payload.data() + 12, &huge, sizeof(huge));
+    std::memcpy(m.payload.data() + 20, &huge, sizeof(huge));
     const auto before = m1.stats().packets_rejected;
     EXPECT_EQ(m1.process_packet(m, count_only), 0u);
     EXPECT_EQ(m1.stats().packets_rejected, before + 1);
@@ -161,7 +161,7 @@ TEST(MailboxFuzz, TruncatedPacketsRejectedWithoutConsumingSeq) {
     m.tag = kMailTag;
     m.payload = intact;
     const std::uint16_t bad_dest = 9999;
-    std::memcpy(m.payload.data() + 8, &bad_dest, sizeof(bad_dest));
+    std::memcpy(m.payload.data() + 16, &bad_dest, sizeof(bad_dest));
     const auto before = m1.stats().packets_rejected;
     EXPECT_EQ(m1.process_packet(m, count_only), 0u);
     EXPECT_EQ(m1.stats().packets_rejected, before + 1);

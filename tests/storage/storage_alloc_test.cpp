@@ -1,0 +1,84 @@
+/// Zero-allocation tests for the page-cache hit path (DESIGN.md §12):
+/// once the working set is resident, get() on a cached page is a table
+/// lookup + pin — no heap traffic — and turning the I/O-attribution
+/// layer on (SFG_IO_HIST) must not change that.  The latency histograms
+/// are fixed bucket arrays, the reuse-distance estimator is a fixed
+/// 256-slot table, and per-frame touch counts live in the preallocated
+/// frame array, so attribution adds clock reads and stores, never
+/// allocations.
+///
+/// Own binary: this TU replaces global operator new/delete with counting
+/// versions (same pattern as tests/mailbox/mailbox_alloc_test.cpp); two
+/// such TUs cannot share a binary.
+#include "storage/page_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "obs/metrics.hpp"
+#include "storage/block_device.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace sfg::storage {
+namespace {
+
+constexpr std::size_t kPage = 512;
+constexpr std::size_t kFrames = 16;
+
+/// Warm every page of the working set into a frame, then hammer hits and
+/// return the allocation delta over the steady-state phase.
+std::uint64_t hit_phase_allocations(page_cache& cache) {
+  std::uint64_t sink = 0;
+  for (std::size_t p = 0; p < kFrames; ++p) {
+    auto ref = cache.get(p, sizeof(std::uint64_t));
+    sink += ref.data().size();
+  }
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int round = 0; round < 256; ++round) {
+    for (std::size_t p = 0; p < kFrames; ++p) {
+      auto ref = cache.get(p, sizeof(std::uint64_t));
+      sink += ref.data()[0] == std::byte{0} ? 1u : 0u;
+    }
+  }
+  EXPECT_GT(sink, 0u);
+  return g_allocations.load(std::memory_order_relaxed) - before;
+}
+
+TEST(StorageAlloc, HitPathAllocatesNothingWithAttributionOff) {
+  obs::set_io_hist_enabled(false);
+  memory_device dev;
+  page_cache cache(dev, {kPage, kFrames});
+  EXPECT_EQ(hit_phase_allocations(cache), 0u)
+      << "page-cache hit path allocated with I/O attribution off";
+}
+
+TEST(StorageAlloc, HitPathAllocatesNothingWithAttributionOn) {
+  obs::set_io_hist_enabled(true);
+  memory_device dev;
+  page_cache cache(dev, {kPage, kFrames});
+  const std::uint64_t delta = hit_phase_allocations(cache);
+  obs::set_io_hist_enabled(false);
+  EXPECT_EQ(delta, 0u)
+      << "I/O attribution (SFG_IO_HIST) allocated on the page-cache hit path";
+}
+
+}  // namespace
+}  // namespace sfg::storage

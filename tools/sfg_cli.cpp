@@ -49,6 +49,8 @@
 #include "obs/run_report.hpp"
 #include "obs/trace.hpp"
 #include "runtime/runtime.hpp"
+#include "storage/block_device.hpp"
+#include "storage/page_cache.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
 
@@ -132,7 +134,12 @@ int usage() {
          "  --hdrf-lambda L      HDRF balance knob (default 1.0; larger =\n"
          "                       more balance, more replication)\n"
          "  --json-report PATH   write metrics run report when done\n"
-         "  --trace PATH         write Chrome-trace/Perfetto timeline\n";
+         "  --trace PATH         write Chrome-trace/Perfetto timeline\n"
+         "  --em                 external-memory mode: adjacency on a\n"
+         "                       per-rank block device behind the page\n"
+         "                       cache (reports I/O attribution)\n"
+         "  --em-frames N        page-cache frames per rank (default 64)\n"
+         "  --em-page B          page size in bytes (default 512)\n";
   return 2;
 }
 
@@ -216,7 +223,8 @@ struct obs_opts {
   }
 
   /// Write whatever was requested; false if a report could not be written.
-  bool finish(const std::string& command, const args_map& a) const {
+  bool finish(const std::string& command, const args_map& a,
+              const sfg::obs::json* cache_heat = nullptr) const {
     if (!trace_path.empty()) sfg::obs::write_chrome_trace(trace_path);
     if (report_path.empty()) return true;
     sfg::obs::run_report rep(command);
@@ -225,6 +233,9 @@ struct obs_opts {
                                              : a.positional[0]));
     for (const auto& [key, value] : a.options) {
       rep.add_param(key, sfg::obs::json(value));
+    }
+    if (cache_heat != nullptr && cache_heat->is_object()) {
+      rep.add_section("cache_heat", *cache_heat);
     }
     return rep.write(report_path);
   }
@@ -243,17 +254,38 @@ int with_graph(const args_map& a, const char* command, std::uint32_t ghosts,
               << "' (expected edge_list, dbh, hdrf, or sne)\n";
     return 2;
   }
+  const bool em = a.flag("em");
+  const auto em_frames = static_cast<std::size_t>(a.opt_u64("em-frames", 64));
+  const auto em_page = static_cast<std::size_t>(a.opt_u64("em-page", 512));
   const obs_opts obs(a);
   int rc = 0;
+  sfg::obs::json cache_heat;
   sfg::runtime::launch(p, [&](sfg::runtime::comm& c) {
     auto edges = load_edges_distributed(c, path);
     sfg::graph::graph_build_config gcfg{.num_ghosts = ghosts};
     gcfg.partitioner.kind = *kind;
     gcfg.partitioner.hdrf_lambda = a.opt_f64("hdrf-lambda", 1.0);
-    auto g = sfg::graph::build_in_memory_graph(c, std::move(edges), gcfg);
-    rc = fn(c, g);
+    if (em) {
+      // Per-rank device + page cache, like the paper's node-local NVRAM;
+      // a deliberately small frame budget keeps the miss path exercised.
+      sfg::storage::memory_device dev;
+      sfg::storage::page_cache cache(dev, {em_page, em_frames});
+      auto g =
+          sfg::graph::build_external_graph(c, std::move(edges), gcfg, dev,
+                                           cache);
+      rc = fn(c, g);
+      if (c.rank() == 0) {
+        // Rank 0's frame heat stands in for all ranks (symmetric caches);
+        // lands in both report flavors so sfg_heat can render it.
+        cache_heat = cache.heat_json(16);
+        sfg::obs::set_metrics_report_section("cache_heat", cache_heat);
+      }
+    } else {
+      auto g = sfg::graph::build_in_memory_graph(c, std::move(edges), gcfg);
+      rc = fn(c, g);
+    }
   });
-  if (!obs.finish(command, a) && rc == 0) rc = 1;
+  if (!obs.finish(command, a, em ? &cache_heat : nullptr) && rc == 0) rc = 1;
   return rc;
 }
 

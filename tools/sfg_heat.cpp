@@ -1,0 +1,461 @@
+/// \file sfg_heat.cpp
+/// Terminal heat-map for data movement — the comm-side sibling of
+/// sfg_top.  Two sources:
+///
+///   Report mode (--report FILE): an sfg-metrics/1 report whose traversal
+///   entries carry sfg-comm-matrix/1 sections (SFG_METRICS +
+///   SFG_COMM_MATRIX, as the 4-rank CI BFS produces).  Renders, for the
+///   last traversal with a matrix:
+///     - the rank x rank sent-bytes matrix as a glyph-ramp heat grid,
+///       flagging the hottest origin->dest pair
+///     - enqueue->deliver latency quantiles per rank (sampled, log2)
+///     - page-cache amplification from the registry snapshot: device
+///       bytes moved vs caller bytes requested, plus read/write/fault
+///       latency quantiles and eviction causes
+///     - hottest frames when the report has a "cache_heat" section
+///       (page_cache::heat_json)
+///
+///   Live mode (--dir DIR): tails the per-rank sfg-timeseries/1 JSONL
+///   streams (SFG_TS_DIR) and renders transport and I/O byte rates with
+///   live read amplification — no matrix (the streams carry scalars), but
+///   enough to see *that* data movement is the bottleneck before
+///   re-running with SFG_METRICS for the full picture.
+///
+///   sfg_heat [--report FILE] [--dir DIR] [--interval MS] [--once] [--top N]
+///
+///     --once   render one snapshot and exit: 0 if something valid was
+///              rendered, 1 on a missing/empty/invalid source (CI gate)
+///
+/// Precedence: --report wins when both are given; with neither, live mode
+/// on $SFG_TS_DIR (else ".").
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using sfg::obs::json;
+
+/// Ten-step intensity ramp; index 0 is "no traffic".
+constexpr const char* kRamp = " .:-=+*#%@";
+
+bool has_key(const json& obj, std::string_view key) {
+  return obj.is_object() && obj.find(key) != nullptr;
+}
+
+double num_or(const json& obj, const char* key, double fallback) {
+  const json* v = obj.find(key);
+  return (v != nullptr && v->is_number()) ? v->as_double() : fallback;
+}
+
+std::string human_bytes(double v) {
+  char buf[32];
+  if (v >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2fGB", v / 1e9);
+  } else if (v >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2fMB", v / 1e6);
+  } else if (v >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.1fkB", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0fB", v);
+  }
+  return buf;
+}
+
+std::string human_rate(double v) {
+  char buf[32];
+  if (v >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.1fG", v / 1e9);
+  } else if (v >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.1fM", v / 1e6);
+  } else if (v >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.1fk", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  }
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+// Report mode
+// ---------------------------------------------------------------------------
+
+/// Extract a square u64 matrix[origin][dest] from the comm_matrix rows.
+bool load_rows(const json& rows, const char* key, std::size_t n,
+               std::vector<std::vector<std::uint64_t>>& out) {
+  out.clear();
+  for (std::size_t r = 0; r < n; ++r) {
+    const json* arr = rows.at(r).find(key);
+    if (arr == nullptr || !arr->is_array() || arr->size() != n) return false;
+    std::vector<std::uint64_t> vals;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (!arr->at(c).is_number()) return false;
+      vals.push_back(arr->at(c).as_u64());
+    }
+    out.push_back(std::move(vals));
+  }
+  return true;
+}
+
+void render_matrix(const std::vector<std::vector<std::uint64_t>>& m) {
+  const std::size_t n = m.size();
+  std::uint64_t max_v = 0;
+  std::uint64_t total = 0;
+  std::size_t hot_o = 0, hot_d = 0;
+  std::uint64_t hot_v = 0;
+  for (std::size_t o = 0; o < n; ++o) {
+    for (std::size_t d = 0; d < n; ++d) {
+      max_v = std::max(max_v, m[o][d]);
+      total += m[o][d];
+      if (o != d && m[o][d] > hot_v) {
+        hot_v = m[o][d];
+        hot_o = o;
+        hot_d = d;
+      }
+    }
+  }
+  std::printf("rank x rank sent bytes (row = origin, col = final dest, "
+              "total %s, cell max %s)\n",
+              human_bytes(static_cast<double>(total)).c_str(),
+              human_bytes(static_cast<double>(max_v)).c_str());
+  std::printf("      ");
+  for (std::size_t d = 0; d < n; ++d) std::printf("%2zu", d % 100);
+  std::printf("\n");
+  for (std::size_t o = 0; o < n; ++o) {
+    std::printf("  %3zu ", o);
+    for (std::size_t d = 0; d < n; ++d) {
+      char g = ' ';
+      if (max_v > 0 && m[o][d] > 0) {
+        const std::size_t level = 1 + static_cast<std::size_t>(
+                                          static_cast<double>(m[o][d]) /
+                                          static_cast<double>(max_v) * 8.0);
+        g = kRamp[std::min<std::size_t>(level, 9)];
+      }
+      std::printf(" %c", g);
+    }
+    std::printf("\n");
+  }
+  if (hot_v > 0) {
+    std::printf("hottest pair: rank %zu -> rank %zu, %s\n", hot_o, hot_d,
+                human_bytes(static_cast<double>(hot_v)).c_str());
+  } else {
+    std::printf("hottest pair: none (all off-diagonal traffic is zero)\n");
+  }
+}
+
+void render_latency(const json& rows, std::size_t n) {
+  std::uint64_t count = 0;
+  double p50_max = 0, p90_max = 0, p99_max = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    const json* h = rows.at(r).find("latency_us");
+    if (h == nullptr || !h->is_object()) continue;
+    count += static_cast<std::uint64_t>(num_or(*h, "count", 0));
+    p50_max = std::max(p50_max, num_or(*h, "p50", 0));
+    p90_max = std::max(p90_max, num_or(*h, "p90", 0));
+    p99_max = std::max(p99_max, num_or(*h, "p99", 0));
+  }
+  if (count == 0) {
+    std::printf("enqueue->deliver latency: no samples "
+                "(SFG_COMM_LAT_SAMPLE=0?)\n");
+    return;
+  }
+  // Quantiles are log2-bucket upper bounds; max over ranks is the
+  // conservative whole-world read.
+  std::printf("enqueue->deliver latency: %llu samples, worst-rank p50 %.0fus "
+              "p90 %.0fus p99 %.0fus\n",
+              static_cast<unsigned long long>(count), p50_max, p90_max,
+              p99_max);
+}
+
+void render_cache(const json& doc) {
+  const json* metrics = doc.find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) return;
+  const json* counters = metrics->find("counters");
+  if (counters == nullptr || !counters->is_object()) return;
+  const double req = num_or(*counters, "cache.bytes_requested", 0);
+  const double dev_rd = num_or(*counters, "cache.dev_bytes_read", 0);
+  const double dev_wr = num_or(*counters, "cache.dev_bytes_written", 0);
+  const double hits = num_or(*counters, "cache.hits", 0);
+  const double misses = num_or(*counters, "cache.misses", 0);
+  if (req + dev_rd + dev_wr + hits + misses == 0) {
+    std::printf("page cache: no activity recorded\n");
+    return;
+  }
+  std::printf("page cache: %s requested, %s device-read, %s device-written",
+              human_bytes(req).c_str(), human_bytes(dev_rd).c_str(),
+              human_bytes(dev_wr).c_str());
+  if (req > 0) {
+    std::printf(" | read-amp %.2fx write-amp %.2fx", dev_rd / req,
+                dev_wr / req);
+  }
+  std::printf("\n");
+  if (hits + misses > 0) {
+    std::printf("            %.0f hits / %.0f misses (%.1f%% hit rate)\n",
+                hits, misses, 100.0 * hits / (hits + misses));
+  }
+  if (const json* h = metrics->find("histograms");
+      h != nullptr && h->is_object()) {
+    for (const char* name :
+         {"cache.read_us", "cache.write_us", "cache.fault_us"}) {
+      const json* hist = h->find(name);
+      if (hist == nullptr || !hist->is_object() ||
+          num_or(*hist, "count", 0) == 0) {
+        continue;
+      }
+      std::printf("            %-14s p50 %.0fus p90 %.0fus p99 %.0fus "
+                  "(%.0f ops)\n",
+                  name, num_or(*hist, "p50", 0), num_or(*hist, "p90", 0),
+                  num_or(*hist, "p99", 0), num_or(*hist, "count", 0));
+    }
+  }
+}
+
+void render_frames(const json& doc, std::size_t top_n) {
+  const json* heat = doc.find("cache_heat");
+  if (heat == nullptr || !heat->is_object()) return;
+  const json* top = heat->find("top");
+  if (top == nullptr || !top->is_array() || top->size() == 0) return;
+  std::printf("hottest frames (%.0f of %.0f touched):\n",
+              static_cast<double>(std::min<std::size_t>(top->size(), top_n)),
+              num_or(*heat, "touched", 0));
+  for (std::size_t i = 0; i < top->size() && i < top_n; ++i) {
+    const json& f = top->at(i);
+    std::printf("  frame %6.0f  page %8.0f  %10.0f touches\n",
+                num_or(f, "frame", 0), num_or(f, "page", 0),
+                num_or(f, "touches", 0));
+  }
+}
+
+/// Returns true if something valid was rendered.
+bool render_report(const std::string& file, std::size_t top_n) {
+  std::ifstream in(file);
+  if (!in) {
+    std::cerr << "sfg_heat: cannot open " << file << "\n";
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const auto doc = json::parse(ss.str());
+  if (!doc || !doc->is_object()) {
+    std::cerr << "sfg_heat: " << file << " is not valid JSON\n";
+    return false;
+  }
+  if (!has_key(*doc, "schema") ||
+      !(*doc->find("schema") == json("sfg-metrics/1"))) {
+    std::cerr << "sfg_heat: " << file << " is not an sfg-metrics/1 report\n";
+    return false;
+  }
+  const json* traversals = doc->find("traversals");
+  if (traversals == nullptr || !traversals->is_array() ||
+      traversals->size() == 0) {
+    std::cerr << "sfg_heat: " << file << " has no traversals\n";
+    return false;
+  }
+  // Last traversal with a matrix: the freshest cumulative snapshot.
+  const json* cm = nullptr;
+  std::size_t which = 0;
+  for (std::size_t i = 0; i < traversals->size(); ++i) {
+    if (const json* c = traversals->at(i).find("comm_matrix");
+        c != nullptr && c->is_object()) {
+      cm = c;
+      which = i;
+    }
+  }
+  if (cm == nullptr) {
+    std::cerr << "sfg_heat: " << file
+              << " has no comm_matrix section (set SFG_COMM_MATRIX or "
+                 "SFG_METRICS)\n";
+    return false;
+  }
+  const std::size_t n = static_cast<std::size_t>(num_or(*cm, "ranks", 0));
+  const json* rows = cm->find("rows");
+  if (n == 0 || rows == nullptr || !rows->is_array() || rows->size() != n) {
+    std::cerr << "sfg_heat: " << file << " comm_matrix is malformed\n";
+    return false;
+  }
+  std::vector<std::vector<std::uint64_t>> sent_bytes;
+  if (!load_rows(*rows, "sent_bytes", n, sent_bytes)) {
+    std::cerr << "sfg_heat: " << file
+              << " comm_matrix sent_bytes is not square\n";
+    return false;
+  }
+  std::printf("sfg_heat — %s, traversal %zu of %zu, %zu rank(s)\n",
+              file.c_str(), which + 1, traversals->size(), n);
+  render_matrix(sent_bytes);
+  render_latency(*rows, n);
+  render_cache(*doc);
+  render_frames(*doc, top_n);
+  std::fflush(stdout);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Live mode (sfg-timeseries/1 streams)
+// ---------------------------------------------------------------------------
+
+struct live_row {
+  int rank = 0;
+  double comm_bytes = 0;
+  double pkt_bytes = 0;
+  double req_bytes = 0;
+  double dev_read = 0;
+  double dev_write = 0;
+};
+
+std::optional<live_row> read_live_file(const std::filesystem::path& p,
+                                       int rank) {
+  std::ifstream in(p);
+  if (!in) return std::nullopt;
+  std::string line;
+  std::optional<json> last;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto parsed = json::parse(line);
+    if (parsed && parsed->is_object()) last = std::move(*parsed);
+  }
+  if (!last) return std::nullopt;
+  const json* schema = last->find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "sfg-timeseries/1") {
+    return std::nullopt;
+  }
+  live_row r;
+  r.rank = rank;
+  if (const json* ra = last->find("rates"); ra != nullptr && ra->is_object()) {
+    r.comm_bytes = num_or(*ra, "comm_bytes_sent", 0);
+    r.pkt_bytes = num_or(*ra, "packet_bytes_sent", 0);
+    r.req_bytes = num_or(*ra, "bytes_requested", 0);
+    r.dev_read = num_or(*ra, "dev_bytes_read", 0);
+    r.dev_write = num_or(*ra, "dev_bytes_written", 0);
+  }
+  return r;
+}
+
+std::vector<live_row> collect_live(const std::string& dir) {
+  std::vector<live_row> rows;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    constexpr std::string_view prefix = "sfg_ts_rank";
+    constexpr std::string_view suffix = ".jsonl";
+    if (name.size() <= prefix.size() + suffix.size()) continue;
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0)
+      continue;
+    const std::string mid =
+        name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+    char* end = nullptr;
+    const long rank = std::strtol(mid.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') continue;
+    if (auto row = read_live_file(entry.path(), static_cast<int>(rank))) {
+      rows.push_back(*row);
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const live_row& a, const live_row& b) { return a.rank < b.rank; });
+  return rows;
+}
+
+void render_live(const std::vector<live_row>& rows, const std::string& dir) {
+  // Rates come from process-wide counters; one rank's freshest sample is
+  // the whole world's rate, so take the max across ranks.
+  double comm = 0, pkt = 0, req = 0, dev_rd = 0, dev_wr = 0;
+  for (const auto& r : rows) {
+    comm = std::max(comm, r.comm_bytes);
+    pkt = std::max(pkt, r.pkt_bytes);
+    req = std::max(req, r.req_bytes);
+    dev_rd = std::max(dev_rd, r.dev_read);
+    dev_wr = std::max(dev_wr, r.dev_write);
+  }
+  std::printf("sfg_heat (live) — %zu rank(s), dir %s\n", rows.size(),
+              dir.c_str());
+  std::printf("transport: comm payload %sB/s, mailbox wire %sB/s",
+              human_rate(comm).c_str(), human_rate(pkt).c_str());
+  if (comm > 0 && pkt > 0) std::printf(" (amp %.2fx)", pkt / comm);
+  std::printf("\n");
+  std::printf("storage:   requested %sB/s, device read %sB/s, device write "
+              "%sB/s",
+              human_rate(req).c_str(), human_rate(dev_rd).c_str(),
+              human_rate(dev_wr).c_str());
+  if (req > 0 && dev_rd > 0) std::printf(" (read-amp %.2fx)", dev_rd / req);
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+int usage() {
+  std::cerr << "usage: sfg_heat [--report FILE] [--dir DIR] [--interval MS] "
+               "[--once] [--top N]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string report;
+  std::string dir;
+  if (const char* env = std::getenv("SFG_TS_DIR"); env != nullptr && *env) {
+    dir = env;
+  } else {
+    dir = ".";
+  }
+  long interval_ms = 500;
+  std::size_t top_n = 8;
+  bool once = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--once") {
+      once = true;
+    } else if (a == "--report" && i + 1 < argc) {
+      report = argv[++i];
+    } else if (a == "--dir" && i + 1 < argc) {
+      dir = argv[++i];
+    } else if (a == "--interval" && i + 1 < argc) {
+      interval_ms = std::strtol(argv[++i], nullptr, 10);
+      if (interval_ms <= 0) interval_ms = 500;
+    } else if (a == "--top" && i + 1 < argc) {
+      top_n = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+      if (top_n == 0) top_n = 8;
+    } else {
+      return usage();
+    }
+  }
+
+  if (!report.empty()) {
+    // A report is a finished artifact: render once regardless of --once.
+    return render_report(report, top_n) ? 0 : 1;
+  }
+
+  for (;;) {
+    const std::vector<live_row> rows = collect_live(dir);
+    if (once) {
+      if (rows.empty()) {
+        std::cerr << "sfg_heat: no sfg_ts_rank*.jsonl samples in " << dir
+                  << "\n";
+        return 1;
+      }
+      render_live(rows, dir);
+      return 0;
+    }
+    std::printf("\033[2J\033[H");  // clear + home
+    if (rows.empty()) {
+      std::printf("sfg_heat: waiting for sfg_ts_rank*.jsonl in %s ...\n",
+                  dir.c_str());
+      std::fflush(stdout);
+    } else {
+      render_live(rows, dir);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}

@@ -20,6 +20,11 @@
 ///             (obs/timeseries.hpp): schema tags, strictly monotonic
 ///             seq/ts_us, non-negative rates, phase fractions summing to
 ///             at most 1, and at least one sample
+///   --comm-matrix  an sfg-metrics/1 report whose traversal entries carry
+///             sfg-comm-matrix/1 rank x rank traffic matrices: square,
+///             non-negative, row sums matching the embedded counter
+///             totals, self-delivery on the diagonal, and transpose
+///             conservation (sent toward d == delivered from o)
 ///
 /// Exit status: 0 if every file validates, 1 otherwise (with one line per
 /// problem on stderr).
@@ -122,7 +127,8 @@ void check_partitioner_table(const std::string& file, const json& t) {
   }
   for (const char* required :
        {"partitioner", "chain_rf", "endpoint_rf", "edge_imbalance",
-        "max_rank_delivered", "max_rank_msgs"}) {
+        "max_rank_delivered", "max_rank_msgs", "max_pair_bytes",
+        "matrix_imbalance", "traffic_amp"}) {
     if (!col.contains(required)) {
       fail(file, std::string("partitioners table missing column \"") +
                      required + "\"");
@@ -146,7 +152,9 @@ void check_partitioner_table(const std::string& file, const json& t) {
         return;
       }
     }
-    for (const char* n : {"max_rank_delivered", "max_rank_msgs"}) {
+    for (const char* n : {"max_rank_delivered", "max_rank_msgs",
+                          "max_pair_bytes", "matrix_imbalance",
+                          "traffic_amp"}) {
       if (!row.at(col[n]).is_number()) {
         fail(file, where + " \"" + n + "\" is not a number");
         return;
@@ -327,6 +335,180 @@ void check_flight(const std::string& file) {
   }
 }
 
+/// One traversal entry's "comm_matrix" section (sfg-comm-matrix/1): the
+/// rank x rank traffic matrix gathered by visitor_queue.  Checks both
+/// shape (square N x N, non-negative) and the conservation invariants the
+/// mailbox guarantees at quiescence: row sums match the embedded totals
+/// snapshot, the diagonal is self-delivery (sent[i][i] == delivered on i
+/// from i), the transpose balances (what o sent toward d, d delivered
+/// from o), and the per-traversal sfg-metrics mailbox counters never
+/// exceed the cumulative totals.
+void check_comm_matrix_entry(const std::string& file, const json& entry,
+                             std::size_t traversal_idx) {
+  const std::string where = "traversal " + std::to_string(traversal_idx);
+  const json& cm = *entry.find("comm_matrix");
+  if (!has_key(cm, "schema") ||
+      !(*cm.find("schema") == json("sfg-comm-matrix/1"))) {
+    fail(file, where + " comm_matrix schema is not \"sfg-comm-matrix/1\"");
+    return;
+  }
+  if (!has_key(cm, "ranks") || !cm.find("ranks")->is_number() ||
+      !has_key(cm, "rows") || !cm.find("rows")->is_array()) {
+    fail(file, where + " comm_matrix missing \"ranks\"/\"rows\"");
+    return;
+  }
+  const std::size_t n = static_cast<std::size_t>(cm.find("ranks")->as_u64());
+  const json& rows = *cm.find("rows");
+  if (n == 0 || rows.size() != n) {
+    fail(file, where + " comm_matrix rows count != ranks");
+    return;
+  }
+  constexpr const char* kRowKeys[] = {
+      "sent_records", "sent_bytes",    "delivered_records", "delivered_bytes",
+      "dup_records",  "flush_packets", "flush_bytes"};
+  // matrix[key][rank] = that rank's row, loaded as u64 for exact sums.
+  std::map<std::string, std::vector<std::vector<std::uint64_t>>> m;
+  for (std::size_t r = 0; r < n; ++r) {
+    const json& row = rows.at(r);
+    const std::string rw = where + " comm_matrix row " + std::to_string(r);
+    if (!has_key(row, "rank") || !row.find("rank")->is_number() ||
+        row.find("rank")->as_u64() != r) {
+      fail(file, rw + " \"rank\" is not " + std::to_string(r) +
+                     " (rows must be in rank order)");
+      return;
+    }
+    for (const char* key : kRowKeys) {
+      if (!has_key(row, key) || !row.find(key)->is_array() ||
+          row.find(key)->size() != n) {
+        fail(file, rw + " \"" + key + "\" is not a length-" +
+                       std::to_string(n) + " array (matrix must be square)");
+        return;
+      }
+      std::vector<std::uint64_t> vals;
+      for (std::size_t c = 0; c < n; ++c) {
+        const json& v = row.find(key)->at(c);
+        if (!v.is_number() || v.as_double() < 0) {
+          fail(file, rw + " \"" + key + "\"[" + std::to_string(c) +
+                         "] is not a non-negative number");
+          return;
+        }
+        vals.push_back(v.as_u64());
+      }
+      m[key].push_back(std::move(vals));
+    }
+    if (!has_key(row, "latency_us")) {
+      fail(file, rw + " missing \"latency_us\" histogram");
+      return;
+    }
+  }
+  // Row sums vs the totals snapshot taken at the same instant.
+  const auto sum = [](const std::vector<std::uint64_t>& v) {
+    std::uint64_t s = 0;
+    for (const auto x : v) s += x;
+    return s;
+  };
+  constexpr std::pair<const char*, const char*> kSumChecks[] = {
+      {"sent_records", "records_sent"},
+      {"delivered_records", "records_delivered"},
+      {"flush_packets", "packets_sent"},
+      {"flush_bytes", "packet_bytes_sent"}};
+  for (std::size_t r = 0; r < n; ++r) {
+    const json& row = rows.at(r);
+    const std::string rw = where + " comm_matrix row " + std::to_string(r);
+    if (!has_key(row, "totals") || !row.find("totals")->is_object()) {
+      fail(file, rw + " missing object \"totals\"");
+      return;
+    }
+    const json& totals = *row.find("totals");
+    for (const auto& [row_key, total_key] : kSumChecks) {
+      if (!has_key(totals, total_key) ||
+          !totals.find(total_key)->is_number()) {
+        fail(file, rw + " totals missing numeric \"" + total_key + "\"");
+        return;
+      }
+      const std::uint64_t got = sum(m[row_key][r]);
+      const std::uint64_t want = totals.find(total_key)->as_u64();
+      if (got != want) {
+        fail(file, rw + " sum(" + row_key + ") = " + std::to_string(got) +
+                       " != totals." + total_key + " = " +
+                       std::to_string(want));
+        return;
+      }
+    }
+    // Diagonal: what rank r sent to itself it also delivered from itself.
+    if (m["sent_records"][r][r] != m["delivered_records"][r][r]) {
+      fail(file, rw + " diagonal sent_records != delivered_records "
+                      "(self-delivery must balance)");
+      return;
+    }
+  }
+  // Transpose conservation at quiescence: every record o sent toward
+  // final dest d was delivered by d and attributed to origin o (routing
+  // relays don't touch these rows; duplicates are suppressed before
+  // delivery and land in dup_records instead).
+  for (std::size_t o = 0; o < n; ++o) {
+    for (std::size_t d = 0; d < n; ++d) {
+      if (m["sent_records"][o][d] != m["delivered_records"][d][o]) {
+        fail(file, where + " comm_matrix sent_records[" + std::to_string(o) +
+                       "][" + std::to_string(d) + "] != delivered_records[" +
+                       std::to_string(d) + "][" + std::to_string(o) + "]");
+        return;
+      }
+    }
+  }
+  // The sfg-metrics per-rank mailbox counters are per-traversal deltas;
+  // the matrix totals are cumulative over the queue's life, so delta <=
+  // cumulative always.
+  if (has_key(entry, "per_rank") && entry.find("per_rank")->is_array() &&
+      entry.find("per_rank")->size() == n) {
+    for (std::size_t r = 0; r < n; ++r) {
+      const json& pr = entry.find("per_rank")->at(r);
+      if (!has_key(pr, "mailbox")) continue;
+      const json& mb = *pr.find("mailbox");
+      const json& totals = *rows.at(r).find("totals");
+      for (const char* key : {"records_sent", "records_delivered",
+                              "packets_sent", "packet_bytes_sent"}) {
+        if (!has_key(mb, key) || !has_key(totals, key)) continue;
+        if (mb.find(key)->as_u64() > totals.find(key)->as_u64()) {
+          fail(file, where + " per_rank[" + std::to_string(r) +
+                         "].mailbox." + key +
+                         " exceeds the cumulative matrix total");
+          return;
+        }
+      }
+    }
+  }
+}
+
+/// --comm-matrix: an sfg-metrics/1 report whose traversals carry
+/// sfg-comm-matrix/1 sections.  At least one traversal must have one, and
+/// every one present must validate.
+void check_comm_matrix(const std::string& file) {
+  const auto doc = load(file);
+  if (!doc) return;
+  if (!has_key(*doc, "schema") ||
+      !(*doc->find("schema") == json("sfg-metrics/1"))) {
+    fail(file, "schema is not \"sfg-metrics/1\"");
+    return;
+  }
+  if (!has_key(*doc, "traversals") || !doc->find("traversals")->is_array()) {
+    fail(file, "missing array \"traversals\"");
+    return;
+  }
+  const json& traversals = *doc->find("traversals");
+  std::size_t with_matrix = 0;
+  for (std::size_t i = 0; i < traversals.size(); ++i) {
+    const json& entry = traversals.at(i);
+    if (!has_key(entry, "comm_matrix")) continue;
+    ++with_matrix;
+    check_comm_matrix_entry(file, entry, i);
+  }
+  if (with_matrix == 0) {
+    fail(file, "no traversal carries a \"comm_matrix\" section (was "
+               "SFG_COMM_MATRIX / SFG_METRICS set?)");
+  }
+}
+
 void check_timeseries(const std::string& file) {
   // The line-level rules live next to the producer (obs/timeseries.cpp),
   // so the chaos test and this tool can never drift apart.
@@ -339,7 +521,8 @@ void check_timeseries(const std::string& file) {
 
 int usage() {
   std::cerr << "usage: sfg_report_check [--bench FILE]... [--report FILE]... "
-               "[--trace FILE]... [--flight FILE]... [--timeseries FILE]...\n";
+               "[--trace FILE]... [--flight FILE]... [--timeseries FILE]... "
+               "[--comm-matrix FILE]...\n";
   return 2;
 }
 
@@ -362,6 +545,8 @@ int main(int argc, char** argv) {
       check_flight(file);
     } else if (a == "--timeseries") {
       check_timeseries(file);
+    } else if (a == "--comm-matrix") {
+      check_comm_matrix(file);
     } else {
       return usage();
     }

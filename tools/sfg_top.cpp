@@ -62,6 +62,10 @@ struct rank_row {
   double hit_rate = 0;
   double miss_rate = 0;
   double wb_rate = 0;
+  double comm_byte_rate = 0;
+  double req_byte_rate = 0;
+  double dev_read_rate = 0;
+  double dev_write_rate = 0;
   std::uint64_t total_executed = 0;
   bool straggler = false;
 };
@@ -114,6 +118,10 @@ std::optional<rank_row> read_rank_file(const std::filesystem::path& p,
     r.hit_rate = num_or(*ra, "cache_hits", 0);
     r.miss_rate = num_or(*ra, "cache_misses", 0);
     r.wb_rate = num_or(*ra, "cache_writebacks", 0);
+    r.comm_byte_rate = num_or(*ra, "comm_bytes_sent", 0);
+    r.req_byte_rate = num_or(*ra, "bytes_requested", 0);
+    r.dev_read_rate = num_or(*ra, "dev_bytes_read", 0);
+    r.dev_write_rate = num_or(*ra, "dev_bytes_written", 0);
   }
   if (const json* to = last->find("totals"); to != nullptr && to->is_object()) {
     r.total_executed =
@@ -211,6 +219,10 @@ void render(const std::vector<rank_row>& rows, const std::string& dir) {
   double hits = 0;
   double misses = 0;
   double wbs = 0;
+  double comm_bytes = 0;
+  double req_bytes = 0;
+  double dev_read = 0;
+  double dev_write = 0;
   std::uint64_t max_seq = 0;
   for (const auto& r : rows) {
     total_exec += static_cast<std::uint64_t>(r.executed);
@@ -223,6 +235,10 @@ void render(const std::vector<rank_row>& rows, const std::string& dir) {
     hits = std::max(hits, r.hit_rate);
     misses = std::max(misses, r.miss_rate);
     wbs = std::max(wbs, r.wb_rate);
+    comm_bytes = std::max(comm_bytes, r.comm_byte_rate);
+    req_bytes = std::max(req_bytes, r.req_byte_rate);
+    dev_read = std::max(dev_read, r.dev_read_rate);
+    dev_write = std::max(dev_write, r.dev_write_rate);
   }
   std::printf("sfg_top — %zu rank(s), dir %s, sample seq %llu\n", rows.size(),
               dir.c_str(), static_cast<unsigned long long>(max_seq));
@@ -233,6 +249,17 @@ void render(const std::vector<rank_row>& rows, const std::string& dir) {
       human_rate(exec_rate).c_str(), human_rate(pkt).c_str(),
       human_rate(bytes).c_str(), human_rate(hits).c_str(),
       human_rate(misses).c_str(), human_rate(wbs).c_str());
+  // Device-bytes vs requested-bytes is live read amplification; comm B/s
+  // is transport payload (mailbox B/s above includes packet headers).
+  char amp_str[32] = "";
+  if (req_bytes > 0 && dev_read > 0) {
+    std::snprintf(amp_str, sizeof amp_str, " (read-amp %.2fx)",
+                  dev_read / req_bytes);
+  }
+  std::printf(
+      "data:     comm %sB/s | io req %sB/s dev-rd %sB/s dev-wr %sB/s%s\n",
+      human_rate(comm_bytes).c_str(), human_rate(req_bytes).c_str(),
+      human_rate(dev_read).c_str(), human_rate(dev_write).c_str(), amp_str);
   std::printf(
       "phase glyphs: V visit  S scan  K pack  F flush  P poll  T term  "
       "I io  . idle\n");
