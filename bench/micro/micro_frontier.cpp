@@ -1,0 +1,137 @@
+/// \file micro_frontier.cpp
+/// Frontier hot-path microbenches (core/frontier.hpp): the per-level
+/// operations of the level-synchronous BFS driver — insert, membership
+/// test, iteration in both representations, clear, and the full
+/// level-cycle (insert batch / flip / iterate) that the driver runs once
+/// per BFS level.  Rows cover both regimes: `sparse` keeps the set under
+/// the accelerator budget (num_bits / kSparseDivisor); `dense` overflows
+/// it so iteration falls back to the bitmap word scan.
+///
+/// The `frontier/level_cycle/*` rows are the ones that matter: they are
+/// the exact allocation-free loop tests/core/frontier_alloc_test.cpp pins,
+/// so a regression here is a regression in every level of every
+/// level-synchronous traversal.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/frontier.hpp"
+#include "micro_harness.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace sfg;  // NOLINT: bench-local convenience
+
+constexpr std::size_t kBits = 1u << 20;  // 1M local slots, a real rank's share
+
+/// Pre-generated distinct slot indices, so the measured loop holds no rng.
+std::vector<std::uint32_t> make_targets(std::size_t n, std::uint64_t seed) {
+  util::xoshiro256 rng(seed);
+  std::vector<std::uint32_t> t(n);
+  for (auto& x : t) x = static_cast<std::uint32_t>(rng.uniform_below(kBits));
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  micro::suite s("micro_frontier",
+                 "dual-representation frontier ops at 2^20 bits: insert / "
+                 "test / for_each / clear in the sparse and dense regimes, "
+                 "plus the per-level insert+flip+iterate cycle of the "
+                 "level-synchronous BFS driver");
+
+  const std::size_t sparse_n = kBits / core::frontier::kSparseDivisor / 2;
+  const std::size_t dense_n = kBits / 4;  // 4x over the sparse budget
+  const auto sparse_targets = make_targets(sparse_n, 101);
+  const auto dense_targets = make_targets(dense_n, 202);
+
+  // Insert throughput per regime (clear() between batches is part of the
+  // real per-level rhythm, so it stays inside the measured loop).
+  s.run("frontier/insert/sparse", static_cast<double>(sparse_n),
+        [&](std::uint64_t iters) {
+          core::frontier f(kBits);
+          std::uint64_t sink = 0;
+          for (std::uint64_t it = 0; it < iters; ++it) {
+            for (const std::uint32_t i : sparse_targets) f.insert(i);
+            sink += f.count();
+            f.clear();
+          }
+          micro::keep(sink);
+        });
+  s.run("frontier/insert/dense", static_cast<double>(dense_n),
+        [&](std::uint64_t iters) {
+          core::frontier f(kBits);
+          std::uint64_t sink = 0;
+          for (std::uint64_t it = 0; it < iters; ++it) {
+            for (const std::uint32_t i : dense_targets) f.insert(i);
+            sink += f.count();
+            f.clear();
+          }
+          micro::keep(sink);
+        });
+
+  // Membership test — the bottom-up probe's inner operation.
+  s.run("frontier/test", static_cast<double>(dense_n),
+        [&](std::uint64_t iters) {
+          core::frontier f(kBits);
+          for (const std::uint32_t i : sparse_targets) f.insert(i);
+          std::uint64_t sink = 0;
+          for (std::uint64_t it = 0; it < iters; ++it) {
+            for (const std::uint32_t i : dense_targets) {
+              sink += static_cast<std::uint64_t>(f.test(i));
+            }
+          }
+          micro::keep(sink);
+        });
+
+  // Iteration per regime — the top-down scan's outer loop.
+  s.run("frontier/for_each/sparse", static_cast<double>(sparse_n),
+        [&](std::uint64_t iters) {
+          core::frontier f(kBits);
+          for (const std::uint32_t i : sparse_targets) f.insert(i);
+          std::uint64_t sink = 0;
+          for (std::uint64_t it = 0; it < iters; ++it) {
+            f.for_each([&](std::size_t i) { sink += i; });
+          }
+          micro::keep(sink);
+        });
+  s.run("frontier/for_each/dense", static_cast<double>(dense_n),
+        [&](std::uint64_t iters) {
+          core::frontier f(kBits);
+          for (const std::uint32_t i : dense_targets) f.insert(i);
+          std::uint64_t sink = 0;
+          for (std::uint64_t it = 0; it < iters; ++it) {
+            f.for_each([&](std::size_t i) { sink += i; });
+          }
+          micro::keep(sink);
+        });
+
+  // The per-level cycle the BFS driver runs: fill next, flip, iterate
+  // cur.  One "op" = one vertex through the whole cycle.
+  s.run("frontier/level_cycle/sparse", static_cast<double>(sparse_n),
+        [&](std::uint64_t iters) {
+          core::frontier cur(kBits), next(kBits);
+          std::uint64_t sink = 0;
+          for (std::uint64_t it = 0; it < iters; ++it) {
+            for (const std::uint32_t i : sparse_targets) next.insert(i);
+            core::flip(cur, next);
+            cur.for_each([&](std::size_t i) { sink += i; });
+          }
+          micro::keep(sink);
+        });
+  s.run("frontier/level_cycle/dense", static_cast<double>(dense_n),
+        [&](std::uint64_t iters) {
+          core::frontier cur(kBits), next(kBits);
+          std::uint64_t sink = 0;
+          for (std::uint64_t it = 0; it < iters; ++it) {
+            for (const std::uint32_t i : dense_targets) next.insert(i);
+            core::flip(cur, next);
+            cur.for_each([&](std::size_t i) { sink += i; });
+          }
+          micro::keep(sink);
+        });
+
+  return 0;
+}

@@ -12,9 +12,17 @@
 /// the parent's adjacency contains the child (exactly one, for a simple
 /// graph), counted and compared against the number of reached non-source
 /// vertices at the end.
+///
+/// The validator reads only MASTER slots for levels and parents, so it
+/// accepts both kinds of result state: the async queue's (replica and
+/// ghost copies converged) and the level-synchronous modes' (master slots
+/// only; replicas still at infinity).  It makes no assumption about the
+/// order levels were discovered in — see the unreached-parent branch in
+/// the visitor.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 
 #include "core/bfs.hpp"
 #include "core/visitor_queue.hpp"
@@ -40,7 +48,19 @@ struct bfs_validate_visitor {
   void visit(const Graph& g, std::size_t slot, State& state, VQ&) const {
     auto& s = state.local(slot);
     if (g.is_master(slot)) {
-      if (s.level + 1 != child_level) ++s.level_violations;
+      // The unreached case must be explicit: `s.level + 1` wraps
+      // UINT64_MAX to 0, so an unreached parent of a level-0 child would
+      // silently pass the sum check.  The async queue can never produce
+      // that state — a parent's level is always written before its
+      // child's visitor is even sent, so discovery is monotone down the
+      // tree — but the level-synchronous bottom-up modes assemble the
+      // tree from independently raced claims and validate their levels
+      // out of discovery order, so the validator must not assume any
+      // ordering between a parent's write and a child's check.
+      if (s.level == std::numeric_limits<std::uint64_t>::max() ||
+          s.level + 1 != child_level) {
+        ++s.level_violations;
+      }
     }
     if (g.has_local_out_edge(slot, child)) ++s.edges_found;
   }

@@ -146,6 +146,21 @@ class distributed_graph {
                     });
   }
 
+  /// Like for_each_out_edge, but `fn` returns a bool: false stops the
+  /// scan.  Returns true iff the whole slice was visited.  The bottom-up
+  /// BFS probe lives on this: an unvisited vertex stops at its FIRST
+  /// frontier neighbor, so a hub's probe is O(1) once the frontier is
+  /// dense instead of O(degree).
+  template <typename Fn>
+  bool for_each_out_edge_while(std::size_t s, Fn&& fn) const {
+    if (s >= bp_.num_sources) return true;
+    const obs::phase_scope pscope(obs::phase::scan);
+    for (std::size_t i = bp_.csr_offsets[s]; i < bp_.csr_offsets[s + 1]; ++i) {
+      if (!fn(vertex_locator::from_bits(store_.get(i)))) return false;
+    }
+    return true;
+  }
+
   /// Visit (target, weight) pairs of slot `s`'s local adjacency slice.
   /// Requires graph_build_config::make_weights at build time; weights are
   /// DRAM-resident regardless of edge storage (semi-external model).

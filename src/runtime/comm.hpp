@@ -185,6 +185,32 @@ class comm {
     return out;
   }
 
+  /// all_gatherv into a caller-owned buffer: `out` is cleared (capacity
+  /// kept) and refilled with the rank-ordered concatenation.  For
+  /// per-iteration collectives with stable sizes — the level-synchronous
+  /// BFS broadcasts its frontier bitmap every level and the word counts
+  /// never change within a traversal — this reaches steady state after
+  /// the first call and allocates nothing thereafter.
+  template <typename T>
+  void all_gatherv_into(std::span<const T> mine, std::vector<T>& out,
+                        std::vector<std::size_t>* counts_out = nullptr) {
+    publish(mine.data(), mine.size_bytes());
+    out.clear();
+    if (counts_out != nullptr) {
+      counts_out->assign(static_cast<std::size_t>(size()), 0);
+    }
+    for (int r = 0; r < size(); ++r) {
+      const auto& slot = world_->coll_slots_[static_cast<std::size_t>(r)];
+      const std::size_t n = slot.bytes / sizeof(T);
+      const T* src = static_cast<const T*>(slot.data);
+      out.insert(out.end(), src, src + n);
+      if (counts_out != nullptr) {
+        (*counts_out)[static_cast<std::size_t>(r)] = n;
+      }
+    }
+    barrier();
+  }
+
   /// Personalized all-to-all: `outgoing[d]` is this rank's data for rank d
   /// (outgoing.size() == size()).  Returns incoming[s] = data rank s sent
   /// to this rank.

@@ -95,6 +95,67 @@ TEST(BfsValidate, DetectsBogusParent) {
   });
 }
 
+TEST(BfsValidate, UnreachedParentIsALevelViolation) {
+  // Regression: the level check used to compute `parent_level + 1 !=
+  // child_level` with unsigned wraparound, so an UNREACHED parent
+  // (UINT64_MAX) of a level-0 child summed to 0 and passed the level
+  // check — the async queue's monotone discovery made that state
+  // unrepresentable, so the hole was latent until the level-synchronous
+  // bottom-up modes started assembling trees from raced claims.  The
+  // validator must flag it as a level violation in its own right, not
+  // lean on the structural check happening to fire on the same vertex.
+  gen::rmat_config rc{.scale = 7, .edge_factor = 8, .seed = 64};
+  const auto edges = gen::rmat_slice(rc, 0, rc.num_edges());
+  launch(4, [&](comm& c) {
+    const auto range = gen::slice_for_rank(edges.size(), c.rank(), 4);
+    std::vector<edge64> mine(
+        edges.begin() + static_cast<std::ptrdiff_t>(range.begin),
+        edges.begin() + static_cast<std::ptrdiff_t>(range.end));
+    auto g = build_in_memory_graph(c, mine, {});
+    const auto source = g.locate(edges.front().src);
+    auto bfs = run_bfs(g, source, {});
+    // Manufacture the wraparound state: find an unreached master vertex
+    // and point a reached level-0 child at it.  (Level 0 on a non-source
+    // is also structurally invalid — the point of this test is that the
+    // LEVEL check now fires independently.)
+    std::uint64_t corrupted = 0;
+    if (c.rank() == 0) {
+      graph::vertex_locator unreached = graph::vertex_locator::invalid();
+      for (std::size_t s = 0; s < g.num_slots(); ++s) {
+        if (g.is_master(s) && !bfs.state.local(s).reached()) {
+          unreached = g.locator_of(s);
+          break;
+        }
+      }
+      if (unreached.valid()) {
+        for (std::size_t s = 0; s < g.num_slots(); ++s) {
+          auto& st = bfs.state.local(s);
+          if (g.is_master(s) && st.reached() && st.level > 0 &&
+              g.locator_of(s) != unreached) {
+            st.level = 0;
+            st.parent_bits = unreached.bits();
+            corrupted = 1;
+            break;
+          }
+        }
+      }
+    }
+    // All ranks must agree on whether the corruption happened (rank 0
+    // found both an unreached vertex and a victim) before asserting.
+    corrupted = c.all_reduce(corrupted, std::plus<>());
+    const auto v = validate_bfs(g, source, bfs.state, {});
+    if (corrupted != 0) {
+      EXPECT_FALSE(v.valid);
+      EXPECT_GT(v.level_violations, 0u)
+          << "unreached parent slipped through the level check";
+    } else {
+      EXPECT_TRUE(v.valid);  // RMAT at scale 7 always has unreached ids,
+                             // but don't fail spuriously if not
+    }
+    c.barrier();
+  });
+}
+
 TEST(BfsValidate, SingleVertexTreeIsValid) {
   // A source with no edges at all: nothing to check, trivially valid.
   launch(2, [](comm& c) {

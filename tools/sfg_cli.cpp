@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "core/bfs.hpp"
+#include "core/bfs_hybrid.hpp"
 #include "core/bfs_validate.hpp"
 #include "core/connected_components.hpp"
 #include "core/kcore.hpp"
@@ -124,6 +125,11 @@ int usage() {
          "           --out FILE [--text]\n"
          "  info FILE\n"
          "  bfs FILE [--ranks P] [--source GID] [--ghosts K] [--validate]\n"
+         "      [--bfs=async|topdown|bottomup|hybrid]  traversal mode:\n"
+         "      async (default) is the paper's visitor queue; the others\n"
+         "      are level-synchronous with an explicit frontier (hybrid\n"
+         "      switches direction on the SFG_BFS_ALPHA/SFG_BFS_BETA\n"
+         "      heuristic)\n"
          "  kcore FILE --k K [--ranks P]\n"
          "  triangles FILE [--ranks P] [--approx SAMPLES]\n"
          "  components FILE [--ranks P]\n"
@@ -290,6 +296,12 @@ int with_graph(const args_map& a, const char* command, std::uint32_t ghosts,
 }
 
 int cmd_bfs(const args_map& a) {
+  const auto mode = sfg::core::parse_bfs_mode(a.opt("bfs", "async"));
+  if (!mode.has_value()) {
+    std::cerr << "unknown --bfs '" << a.opt("bfs", "")
+              << "' (expected async, topdown, bottomup, or hybrid)\n";
+    return 2;
+  }
   return with_graph(a, "bfs", static_cast<std::uint32_t>(a.opt_u64("ghosts", 256)),
                     [&](sfg::runtime::comm& c, auto& g) {
     auto source = g.locate(a.opt_u64("source", 0));
@@ -315,7 +327,9 @@ int cmd_bfs(const args_map& a) {
       source = sfg::graph::vertex_locator::from_bits(~w.inv_bits);
     }
     sfg::util::timer t;
-    auto bfs = sfg::core::run_bfs(g, source, {});
+    sfg::core::hybrid_bfs_config bcfg;
+    bcfg.mode = *mode;
+    auto bfs = sfg::core::run_bfs_mode(g, source, bcfg);
     const double secs = t.elapsed_s();
     std::uint64_t reached = 0;
     std::uint64_t traversed = 0;
@@ -329,11 +343,17 @@ int cmd_bfs(const args_map& a) {
     traversed = c.all_reduce(traversed, std::plus<>()) / 2;
     int rc = 0;
     if (c.rank() == 0) {
-      std::cout << "bfs: reached " << reached << " of " << g.total_vertices()
+      std::cout << "bfs[" << sfg::core::bfs_mode_name(*mode) << "]: reached "
+                << reached << " of " << g.total_vertices()
                 << " vertices in " << secs << " s ("
                 << (secs > 0 ? static_cast<double>(traversed) / secs / 1e6
                              : 0)
                 << " MTEPS)\n";
+      if (*mode != sfg::core::bfs_mode::async) {
+        std::cout << "levels: " << bfs.levels.size()
+                  << ", direction switch at "
+                  << bfs.direction_switch_level << "\n";
+      }
     }
     if (a.flag("validate")) {
       const auto v = sfg::core::validate_bfs(g, source, bfs.state, {});

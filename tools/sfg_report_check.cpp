@@ -25,6 +25,11 @@
 ///             non-negative, row sums matching the embedded counter
 ///             totals, self-delivery on the diagonal, and transpose
 ///             conservation (sent toward d == delivered from o)
+///   --bfs-levels  an sfg-metrics/1 report whose traversal entries carry
+///             "bfs" direction traces (from sfg_cli bfs
+///             --bfs=topdown|bottomup|hybrid): mode tag, α/β knobs,
+///             per-level direction records, and a direction_switch_level
+///             equal to the first bottom-up level (or -1)
 ///
 /// Exit status: 0 if every file validates, 1 otherwise (with one line per
 /// problem on stderr).
@@ -509,6 +514,114 @@ void check_comm_matrix(const std::string& file) {
   }
 }
 
+/// One traversal's "bfs" section: mode tag, the α/β knobs actually used,
+/// a non-empty per-level direction trace, and a direction_switch_level
+/// consistent with that trace (== index of the first bottom-up level, or
+/// -1 when the traversal never left top-down).
+void check_bfs_entry(const std::string& file, const json& bfs,
+                     std::size_t index) {
+  const std::string where = "traversals[" + std::to_string(index) + "].bfs";
+  if (!has_key(bfs, "mode") || !bfs.find("mode")->is_string()) {
+    fail(file, where + " missing string \"mode\"");
+    return;
+  }
+  const std::string& mode = bfs.find("mode")->as_string();
+  if (mode != "async" && mode != "topdown" && mode != "bottomup" &&
+      mode != "hybrid") {
+    fail(file, where + ".mode \"" + mode + "\" is not a BFS mode");
+    return;
+  }
+  for (const char* key : {"alpha", "beta"}) {
+    if (!has_key(bfs, key) || !bfs.find(key)->is_number()) {
+      fail(file, where + " missing numeric \"" + key + "\"");
+      return;
+    }
+  }
+  if (!has_key(bfs, "direction_switch_level") ||
+      !bfs.find("direction_switch_level")->is_number()) {
+    fail(file, where + " missing numeric \"direction_switch_level\"");
+    return;
+  }
+  const std::int64_t switch_level =
+      bfs.find("direction_switch_level")->as_i64();
+  if (!has_key(bfs, "levels") || !bfs.find("levels")->is_array()) {
+    fail(file, where + " missing array \"levels\"");
+    return;
+  }
+  const json& levels = *bfs.find("levels");
+  if (levels.size() == 0) {
+    fail(file, where + ".levels is empty (level-synchronous traversal "
+                       "recorded no levels)");
+    return;
+  }
+  std::int64_t first_bottom_up = -1;
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const json& l = levels.at(i);
+    const std::string lwhere = where + ".levels[" + std::to_string(i) + "]";
+    for (const char* key :
+         {"level", "frontier_vertices", "frontier_edges", "claims_sent"}) {
+      if (!has_key(l, key) || !l.find(key)->is_number()) {
+        fail(file, lwhere + " missing numeric \"" + key + "\"");
+        return;
+      }
+    }
+    if (l.find("level")->as_u64() != i) {
+      fail(file, lwhere + ".level != " + std::to_string(i));
+      return;
+    }
+    if (!has_key(l, "direction") || !l.find("direction")->is_string()) {
+      fail(file, lwhere + " missing string \"direction\"");
+      return;
+    }
+    const std::string& dir = l.find("direction")->as_string();
+    if (dir != "topdown" && dir != "bottomup") {
+      fail(file, lwhere + ".direction \"" + dir + "\" is not a direction");
+      return;
+    }
+    if (dir == "bottomup" && first_bottom_up < 0) {
+      first_bottom_up = static_cast<std::int64_t>(i);
+    }
+  }
+  if (switch_level != first_bottom_up) {
+    fail(file, where + ".direction_switch_level (" +
+                   std::to_string(switch_level) +
+                   ") does not match the first bottom-up level in the "
+                   "trace (" +
+                   std::to_string(first_bottom_up) + ")");
+  }
+}
+
+/// --bfs-levels: an sfg-metrics/1 report where at least one traversal
+/// carries a "bfs" direction trace, and every one present validates.
+/// The async queue writes no "bfs" section, so a report from a mixed run
+/// passes as long as one level-synchronous traversal is in it.
+void check_bfs_levels(const std::string& file) {
+  const auto doc = load(file);
+  if (!doc) return;
+  if (!has_key(*doc, "schema") ||
+      !(*doc->find("schema") == json("sfg-metrics/1"))) {
+    fail(file, "schema is not \"sfg-metrics/1\"");
+    return;
+  }
+  if (!has_key(*doc, "traversals") || !doc->find("traversals")->is_array()) {
+    fail(file, "missing array \"traversals\"");
+    return;
+  }
+  const json& traversals = *doc->find("traversals");
+  std::size_t with_bfs = 0;
+  for (std::size_t i = 0; i < traversals.size(); ++i) {
+    const json& entry = traversals.at(i);
+    if (!has_key(entry, "bfs")) continue;
+    ++with_bfs;
+    check_bfs_entry(file, *entry.find("bfs"), i);
+  }
+  if (with_bfs == 0) {
+    fail(file, "no traversal carries a \"bfs\" section (was the traversal "
+               "run with --bfs=topdown|bottomup|hybrid and SFG_METRICS "
+               "set?)");
+  }
+}
+
 void check_timeseries(const std::string& file) {
   // The line-level rules live next to the producer (obs/timeseries.cpp),
   // so the chaos test and this tool can never drift apart.
@@ -522,7 +635,7 @@ void check_timeseries(const std::string& file) {
 int usage() {
   std::cerr << "usage: sfg_report_check [--bench FILE]... [--report FILE]... "
                "[--trace FILE]... [--flight FILE]... [--timeseries FILE]... "
-               "[--comm-matrix FILE]...\n";
+               "[--comm-matrix FILE]... [--bfs-levels FILE]...\n";
   return 2;
 }
 
@@ -547,6 +660,8 @@ int main(int argc, char** argv) {
       check_timeseries(file);
     } else if (a == "--comm-matrix") {
       check_comm_matrix(file);
+    } else if (a == "--bfs-levels") {
+      check_bfs_levels(file);
     } else {
       return usage();
     }
