@@ -56,10 +56,12 @@
 #include "core/visitor_queue.hpp"
 #include "graph/partitioner.hpp"
 #include "mailbox/routed_mailbox.hpp"
+#include "obs/critpath.hpp"
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase.hpp"
 #include "obs/run_report.hpp"
+#include "obs/span.hpp"
 #include "obs/timeseries.hpp"
 #include "runtime/comm.hpp"
 #include "util/rng.hpp"
@@ -199,6 +201,8 @@ class level_sync_bfs {
     const obs::phase_stats phase_start = obs::phase_snapshot();
     obs::flight_record(obs::flight_kind::traversal_begin, 1,
                        static_cast<std::uint64_t>(c.size()));
+    obs::span_mark(obs::span_kind::trav_begin, 1,
+                   static_cast<std::uint64_t>(c.size()));
 
     // Frontier bit space: one bit per local slot, locator-addressed
     // ((owner, local_id) → word_off_[owner] + local_id/64).  Sizes are
@@ -294,6 +298,10 @@ class level_sync_bfs {
       if (cfg_.on_level) cfg_.on_level(level, bottom_up, switched);
       obs::flight_record(obs::flight_kind::queue_batch, level,
                          totals.vertices);
+      // Level marker for the critical-path analyzer: stamped after the
+      // level barrier, so its timestamp is this rank's barrier exit.
+      obs::span_mark(obs::span_kind::bfs_level, level,
+                     static_cast<std::uint64_t>(bottom_up));
 
       level_ = level;
       flip(cur_, next_);
@@ -333,6 +341,8 @@ class level_sync_bfs {
             .count());
     obs::flight_record(obs::flight_kind::traversal_end,
                        stats_.visitors_executed, last_wall_us_);
+    obs::span_mark(obs::span_kind::trav_end, 1,
+                   static_cast<std::uint64_t>(c.size()));
     publish_metrics();
     obs::ts_flush();
     write_run_report(c, result);
@@ -464,6 +474,9 @@ class level_sync_bfs {
     const bool want_matrix = obs::comm_matrix_on();
     obs::json matrix_rows;
     if (want_matrix) matrix_rows = obs::gather_json(c, mailbox_.matrix_json());
+    const bool want_critpath = obs::spans_on();
+    obs::json span_fragments;
+    if (want_critpath) span_fragments = obs::gather_json(c, obs::span_rank_json());
     if (c.rank() != 0) return;
     obs::json entry = obs::json::object();
     entry["ranks"] = static_cast<std::uint64_t>(all.size());
@@ -499,6 +512,10 @@ class level_sync_bfs {
       cm["ranks"] = static_cast<std::uint64_t>(all.size());
       cm["rows"] = std::move(matrix_rows);
       entry["comm_matrix"] = std::move(cm);
+    }
+    if (want_critpath) {
+      obs::json cp = obs::critpath_analyze(span_fragments);
+      if (!cp.is_null()) entry["critpath"] = std::move(cp);
     }
     obs::append_traversal_report(std::move(entry));
   }

@@ -35,10 +35,12 @@
 #include "core/local_queue.hpp"
 #include "graph/partitioner.hpp"
 #include "mailbox/routed_mailbox.hpp"
+#include "obs/critpath.hpp"
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase.hpp"
 #include "obs/run_report.hpp"
+#include "obs/span.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/stats_fields.hpp"
 #include "obs/trace.hpp"
@@ -199,6 +201,10 @@ class visitor_queue {
     runtime::comm& c = graph_->comm();
     obs::flight_record(obs::flight_kind::traversal_begin, ++traversal_ordinal_,
                        static_cast<std::uint64_t>(c.size()));
+    // Critical-path window marker (obs/span.hpp): the analyzer bounds its
+    // walk by the last begin/end pair in each rank's ring.
+    obs::span_mark(obs::span_kind::trav_begin, traversal_ordinal_,
+                   static_cast<std::uint64_t>(c.size()));
     // Live straggler gauges: this rank's queue depth, locally-known
     // in-flight records and termination epoch, refreshed every poll
     // iteration so the registry always shows who is dragging.  Handles are
@@ -316,6 +322,8 @@ class visitor_queue {
     last_max_depth_ = max_depth;
     obs::flight_record(obs::flight_kind::traversal_end,
                        stats_.visitors_executed, last_wall_us_);
+    obs::span_mark(obs::span_kind::trav_end, traversal_ordinal_,
+                   static_cast<std::uint64_t>(c.size()));
     tspan.set_arg("executed", static_cast<double>(stats_.visitors_executed));
     publish_metrics();
     // Force a final time-series sample so a traversal shorter than
@@ -391,6 +399,12 @@ class visitor_queue {
     const bool want_matrix = obs::comm_matrix_on();
     obs::json matrix_rows;
     if (want_matrix) matrix_rows = obs::gather_json(c, mailbox_.matrix_json());
+    // Critical-path section (sfg-critpath/1): gather every rank's span
+    // ring and let rank 0 run the analyzer.  Same process-wide-gate
+    // argument as the matrix: all ranks agree on entering the collective.
+    const bool want_critpath = obs::spans_on();
+    obs::json span_fragments;
+    if (want_critpath) span_fragments = obs::gather_json(c, obs::span_rank_json());
     if (c.rank() != 0) return;
     obs::json entry = obs::json::object();
     entry["ranks"] = static_cast<std::uint64_t>(all.size());
@@ -409,6 +423,10 @@ class visitor_queue {
       cm["ranks"] = static_cast<std::uint64_t>(all.size());
       cm["rows"] = std::move(matrix_rows);
       entry["comm_matrix"] = std::move(cm);
+    }
+    if (want_critpath) {
+      obs::json cp = obs::critpath_analyze(span_fragments);
+      if (!cp.is_null()) entry["critpath"] = std::move(cp);
     }
     obs::append_traversal_report(std::move(entry));
   }

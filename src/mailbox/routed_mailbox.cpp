@@ -6,6 +6,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/phase.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 
 namespace sfg::mailbox {
@@ -86,6 +87,11 @@ void routed_mailbox::flush_channel(int next_hop, flush_reason why) {
   const packet_header ph{next_packet_seq_[static_cast<std::size_t>(next_hop)]++,
                          ch.open_ts_us};
   std::memcpy(ch.buf.data(), &ph, sizeof(ph));
+  // Critical-path edge, sender half: the receiver records the matching
+  // mbox_recv with the same (sender, seq) key, which is exact — seqs are
+  // assigned per (sender, next-hop) pair, so no sampling is involved.
+  obs::span_mark(obs::span_kind::mbox_send,
+                 static_cast<std::uint64_t>(next_hop), ph.seq);
   ch.open_ts_us = 0;
   ++stats_.packets_sent;
   stats_.packet_bytes_sent += ch.buf.size();

@@ -50,6 +50,7 @@
 #include "obs/histogram.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase.hpp"
+#include "obs/span.hpp"
 #include "obs/stats_fields.hpp"
 #include "obs/trace_context.hpp"
 #include "runtime/comm.hpp"
@@ -374,6 +375,10 @@ std::size_t routed_mailbox::process_packet(const runtime::message& m,
     note_duplicate_packet(m.source, ph.seq, m.payload);
     return 0;
   }
+  // Critical-path edge, receiver half: (source, seq) matches the sender's
+  // mbox_send marker exactly (obs/span.hpp, critpath.cpp).
+  obs::span_mark(obs::span_kind::mbox_recv,
+                 static_cast<std::uint64_t>(m.source), ph.seq);
   const bool mx = obs::comm_matrix_on();
   if (mx && ph.open_ts_us != 0) {
     const std::uint64_t now = now_us();

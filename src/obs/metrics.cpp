@@ -61,6 +61,10 @@ obs_toggles::obs_toggles() {
       env != nullptr && *env != '\0' && *env != '0') {
     io_hist.store(true, std::memory_order_relaxed);
   }
+  if (const char* env = std::getenv("SFG_SPANS");
+      env != nullptr && *env != '\0' && *env != '0') {
+    spans.store(true, std::memory_order_relaxed);
+  }
   if (const char* env = std::getenv("SFG_COMM_LAT_SAMPLE");
       env != nullptr && *env != '\0') {
     const long n = std::strtol(env, nullptr, 10);
@@ -90,6 +94,10 @@ void set_io_hist_enabled(bool on) {
 
 void set_comm_lat_sample(std::uint32_t n) {
   detail::toggles().comm_lat_sample.store(n, std::memory_order_relaxed);
+}
+
+void set_spans_enabled(bool on) {
+  detail::toggles().spans.store(on, std::memory_order_relaxed);
 }
 
 std::string metrics_report_path() {

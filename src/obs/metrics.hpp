@@ -36,6 +36,13 @@
 ///                           metrics/time-series are off (page_cache.hpp,
 ///                           block_device.hpp); implied by SFG_METRICS and
 ///                           SFG_TS_INTERVAL_MS
+///   SFG_SPANS=1             record the per-rank critical-path span log
+///                           (span.hpp): phase self-time segments, mailbox
+///                           flush->deliver edges, BFS level markers.
+///                           Traversal reports then embed an sfg-critpath/1
+///                           section (critpath.hpp) consumed by sfg_why
+///   SFG_SPAN_EVENTS=<n>     span-ring capacity per rank, rounded up to a
+///                           power of two (default 16384); 0 disables
 #pragma once
 
 #include <atomic>
@@ -71,6 +78,9 @@ struct obs_toggles {
   /// Packet latency sampling rate: stamp 1-in-`comm_lat_sample` packets
   /// with an enqueue timestamp; 0 = never (matrix counters still run).
   std::atomic<std::uint32_t> comm_lat_sample{1};
+  /// Critical-path span log (SFG_SPANS, span.hpp); unlike the matrix and
+  /// the I/O histograms this is opt-in only — never implied by metrics.
+  std::atomic<bool> spans{false};
 };
 
 obs_toggles& toggles();
@@ -88,12 +98,20 @@ obs_toggles& toggles();
   return detail::toggles().timeseries.load(std::memory_order_relaxed);
 }
 
-/// Phase-attribution gate (phase.hpp): phase timers feed both the
-/// end-of-traversal registry fold (metrics) and the live sampler
-/// (timeseries), so they run whenever either consumer is on.  Two relaxed
-/// loads, still one predictable branch in the common all-off case.
+/// Critical-path span-log gate (span.hpp): strictly opt-in via SFG_SPANS
+/// (or set_spans_enabled) — span rings cost memory per rank and a ring
+/// write per phase transition, so metrics alone never imply them.
+[[nodiscard]] inline bool spans_on() noexcept {
+  return detail::toggles().spans.load(std::memory_order_relaxed);
+}
+
+/// Phase-attribution gate (phase.hpp): phase timers feed the
+/// end-of-traversal registry fold (metrics), the live sampler
+/// (timeseries) and the span log's self-time segments (critpath), so they
+/// run whenever any consumer is on.  Three relaxed loads, still one
+/// predictable branch in the common all-off case.
 [[nodiscard]] inline bool phase_on() noexcept {
-  return metrics_on() || ts_on();
+  return metrics_on() || ts_on() || spans_on();
 }
 
 /// Traffic-matrix gate (mailbox/routed_mailbox.hpp): the rank x rank
@@ -130,6 +148,7 @@ void set_metrics_enabled(bool on);
 void set_comm_matrix_enabled(bool on);
 void set_io_hist_enabled(bool on);
 void set_comm_lat_sample(std::uint32_t n);
+void set_spans_enabled(bool on);
 
 /// Path for traversal run reports (SFG_METRICS or set_metrics_report_path);
 /// empty when reporting is off.

@@ -2,6 +2,9 @@
 
 #include <chrono>
 
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
+
 namespace sfg::obs {
 
 namespace {
@@ -27,6 +30,12 @@ struct phase_tls {
   static constexpr int kMaxPhaseDepth = 16;
   frame stack[kMaxPhaseDepth];
   int depth = 0;
+  /// Start of the currently-running self-time span segment (span.hpp).
+  /// seg_open flags it explicitly: trace_now_us() legitimately returns 0
+  /// at the very first call of a process (the call defines the epoch), so
+  /// the timestamp itself cannot double as the sentinel.
+  std::uint64_t seg_start_us = 0;
+  bool seg_open = false;
 };
 
 phase_tls& tls() noexcept {
@@ -55,6 +64,20 @@ namespace detail {
 bool phase_enter(phase p) noexcept {
   phase_tls& t = tls();
   if (t.depth >= phase_tls::kMaxPhaseDepth) return false;
+  if (spans_on()) {
+    // Entering a child ends the parent's running self-time segment: the
+    // full set of closed segments is an exact, non-overlapping partition
+    // of this rank's phased wall time, which is what the critical-path
+    // analyzer walks (critpath.cpp).
+    const std::uint64_t now = trace_now_us();
+    if (t.depth > 0 && t.seg_open && now > t.seg_start_us) {
+      span_append(span_kind::phase_seg, t.seg_start_us, now,
+                  t.stack[t.depth - 1].ph,
+                  static_cast<std::uint64_t>(t.depth - 1));
+    }
+    t.seg_start_us = now;
+    t.seg_open = true;
+  }
   t.stack[t.depth++] = {static_cast<std::uint8_t>(p), now_ns(), 0};
   return true;
 }
@@ -63,6 +86,16 @@ void phase_exit() noexcept {
   phase_tls& t = tls();
   if (t.depth == 0) return;  // toggled mid-scope; drop rather than corrupt
   const phase_tls::frame f = t.stack[--t.depth];
+  if (spans_on()) {
+    const std::uint64_t now = trace_now_us();
+    if (t.seg_open && now > t.seg_start_us) {
+      span_append(span_kind::phase_seg, t.seg_start_us, now, f.ph,
+                  static_cast<std::uint64_t>(t.depth));
+    }
+    // The parent's self-time segment restarts; at depth 0 nothing runs.
+    t.seg_start_us = now;
+    t.seg_open = t.depth > 0;
+  }
   const std::uint64_t end = now_ns();
   const std::uint64_t dur = end > f.start_ns ? end - f.start_ns : 0;
   const std::uint64_t self = dur > f.child_ns ? dur - f.child_ns : 0;
@@ -98,6 +131,8 @@ void phase_clear_thread() noexcept {
     t.entries[i] = 0;
   }
   t.depth = 0;
+  t.seg_start_us = 0;
+  t.seg_open = false;
 }
 
 }  // namespace sfg::obs

@@ -1,0 +1,202 @@
+#include "obs/span.hpp"
+
+#include <bit>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "util/log.hpp"
+
+namespace sfg::obs {
+
+namespace {
+
+/// One recorded span, stored as relaxed atomics so a snapshot taken while
+/// the owning rank is still writing reads cleanly (at worst an in-flight
+/// span is field-torn; the analyzer snapshots after a barrier, so live
+/// tears never reach a report).
+struct span_slot {
+  std::atomic<std::uint64_t> t0_us{0};
+  std::atomic<std::uint64_t> t1_us{0};
+  std::atomic<std::uint64_t> kind{0};
+  std::atomic<std::uint64_t> a{0};
+  std::atomic<std::uint64_t> b{0};
+};
+
+/// Single-writer ring: the owning rank appends, anyone may snapshot.
+struct span_ring {
+  span_ring(std::size_t cap, int rank_) : slots(cap), mask(cap - 1), rank(rank_) {}
+  std::vector<span_slot> slots;
+  std::size_t mask;
+  int rank;
+  std::atomic<std::uint64_t> head{0};  ///< total spans ever recorded
+};
+
+struct span_globals {
+  std::mutex mu;
+  /// Indexed by rank + 1 (slot 0 is the non-rank main thread), like the
+  /// flight recorder's registry.
+  std::vector<std::unique_ptr<span_ring>> rings;
+  std::size_t capacity = 16384;
+  bool env_read = false;
+  /// Bumped when rings are rebuilt; invalidates per-thread cached pointers.
+  std::atomic<std::uint64_t> gen{1};
+};
+
+span_globals& globals() {
+  static span_globals g;
+  return g;
+}
+
+/// SFG_SPAN_EVENTS is read once, lazily, under the registry mutex (the
+/// enabled/disabled bit itself lives in obs_toggles with its peers).
+void read_env_locked(span_globals& g) {
+  if (g.env_read) return;
+  g.env_read = true;
+  if (const char* env = std::getenv("SFG_SPAN_EVENTS");
+      env != nullptr && *env != '\0') {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n <= 0) {
+      set_spans_enabled(false);
+    } else {
+      g.capacity = std::bit_ceil(static_cast<std::size_t>(n));
+    }
+  }
+}
+
+span_ring* ring_for_rank(int rank) {
+  auto& g = globals();
+  const std::scoped_lock lock(g.mu);
+  read_env_locked(g);
+  const auto idx = static_cast<std::size_t>(rank + 1);
+  if (g.rings.size() <= idx) g.rings.resize(idx + 1);
+  if (!g.rings[idx]) g.rings[idx] = std::make_unique<span_ring>(g.capacity, rank);
+  return g.rings[idx].get();
+}
+
+}  // namespace
+
+const char* span_kind_name(span_kind k) noexcept {
+  switch (k) {
+    case span_kind::phase_seg: return "phase_seg";
+    case span_kind::mbox_send: return "mbox_send";
+    case span_kind::mbox_recv: return "mbox_recv";
+    case span_kind::bfs_level: return "bfs_level";
+    case span_kind::trav_begin: return "trav_begin";
+    case span_kind::trav_end: return "trav_end";
+  }
+  return "unknown";
+}
+
+namespace detail {
+
+void span_append(span_kind k, std::uint64_t t0_us, std::uint64_t t1_us,
+                 std::uint64_t a, std::uint64_t b) noexcept {
+  // Per-thread ring cache: resolving the ring takes the registry mutex, so
+  // it happens once per thread per generation, never on the steady path.
+  struct cache_t {
+    std::uint64_t gen = 0;
+    span_ring* ring = nullptr;
+  };
+  thread_local cache_t cache;
+  auto& g = globals();
+  const std::uint64_t gen = g.gen.load(std::memory_order_acquire);
+  if (cache.gen != gen || cache.ring == nullptr) {
+    cache.ring = ring_for_rank(util::thread_rank());
+    cache.gen = gen;
+  }
+  span_ring& r = *cache.ring;
+  const std::uint64_t i = r.head.fetch_add(1, std::memory_order_relaxed);
+  span_slot& s = r.slots[i & r.mask];
+  s.t0_us.store(t0_us, std::memory_order_relaxed);
+  s.t1_us.store(t1_us, std::memory_order_relaxed);
+  s.kind.store(static_cast<std::uint64_t>(k), std::memory_order_relaxed);
+  s.a.store(a, std::memory_order_relaxed);
+  s.b.store(b, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+void span_mark(span_kind k, std::uint64_t a, std::uint64_t b) noexcept {
+  if (!spans_on()) return;
+  const std::uint64_t now = trace_now_us();
+  detail::span_append(k, now, now, a, b);
+}
+
+std::size_t span_capacity() {
+  auto& g = globals();
+  const std::scoped_lock lock(g.mu);
+  read_env_locked(g);
+  return g.capacity;
+}
+
+void set_span_capacity(std::size_t cap) {
+  auto& g = globals();
+  const std::scoped_lock lock(g.mu);
+  read_env_locked(g);
+  g.capacity = std::bit_ceil(cap == 0 ? std::size_t{1} : cap);
+  g.rings.clear();
+  g.gen.fetch_add(1, std::memory_order_release);
+}
+
+void span_clear() {
+  auto& g = globals();
+  const std::scoped_lock lock(g.mu);
+  for (auto& r : g.rings) {
+    if (!r) continue;
+    r->head.store(0, std::memory_order_relaxed);
+    for (auto& s : r->slots) {
+      s.t0_us.store(0, std::memory_order_relaxed);
+      s.t1_us.store(0, std::memory_order_relaxed);
+      s.kind.store(0, std::memory_order_relaxed);
+      s.a.store(0, std::memory_order_relaxed);
+      s.b.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::uint64_t span_recorded_here() noexcept {
+  auto& g = globals();
+  const std::scoped_lock lock(g.mu);
+  const auto idx = static_cast<std::size_t>(util::thread_rank() + 1);
+  if (idx >= g.rings.size() || !g.rings[idx]) return 0;
+  return g.rings[idx]->head.load(std::memory_order_relaxed);
+}
+
+json span_rank_json() {
+  auto& g = globals();
+  const std::scoped_lock lock(g.mu);
+  const auto idx = static_cast<std::size_t>(util::thread_rank() + 1);
+  json entry = json::object();
+  entry["rank"] = static_cast<std::int64_t>(util::thread_rank());
+  if (idx >= g.rings.size() || !g.rings[idx]) {
+    entry["recorded"] = 0;
+    entry["dropped"] = 0;
+    entry["spans"] = json::array();
+    return entry;
+  }
+  const span_ring& r = *g.rings[idx];
+  const std::uint64_t recorded = r.head.load(std::memory_order_relaxed);
+  const std::uint64_t cap = r.slots.size();
+  const std::uint64_t dropped = recorded > cap ? recorded - cap : 0;
+  entry["recorded"] = recorded;
+  entry["dropped"] = dropped;
+  json spans = json::array();
+  for (std::uint64_t i = dropped; i < recorded; ++i) {
+    const span_slot& s = r.slots[i & r.mask];
+    json sp = json::object();
+    sp["k"] = span_kind_name(
+        static_cast<span_kind>(s.kind.load(std::memory_order_relaxed)));
+    sp["t0"] = s.t0_us.load(std::memory_order_relaxed);
+    sp["t1"] = s.t1_us.load(std::memory_order_relaxed);
+    sp["a"] = s.a.load(std::memory_order_relaxed);
+    sp["b"] = s.b.load(std::memory_order_relaxed);
+    spans.push_back(std::move(sp));
+  }
+  entry["spans"] = std::move(spans);
+  return entry;
+}
+
+}  // namespace sfg::obs

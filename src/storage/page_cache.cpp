@@ -205,6 +205,10 @@ page_cache::page_ref page_cache::get(std::uint64_t page_id,
       {
         // io_wait phase: only the unlocked device time counts — lock
         // contention stays attributed to whatever phase the caller is in.
+        // With SFG_SPANS set these scopes also become the page-cache fault
+        // spans of the critical-path log (phase.cpp records each io_wait
+        // self-time interval; sfg_why cross-refs them with the cache
+        // amplification counters).
         const obs::phase_scope pscope(obs::phase::io_wait);
         obs::trace_span span("cache.writeback", "storage");
         span.set_arg("bytes", static_cast<double>(copy.size()));

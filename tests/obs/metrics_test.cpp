@@ -19,6 +19,7 @@
 
 #include "obs/flight.hpp"
 #include "obs/phase.hpp"
+#include "obs/span.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_context.hpp"
@@ -292,6 +293,55 @@ TEST(Metrics, DisabledPhaseAndTimeseriesDoNotAllocate) {
       << "disabled phase scopes must not record entries";
   EXPECT_EQ(ts_samples_recorded(), 0u);
   set_ts_interval_ms(saved_interval);
+}
+
+TEST(Metrics, DisabledSpanSitesDoNotAllocate) {
+  // SFG_SPANS off is the default: a span_record is one branch, span_mark
+  // does not even read the clock, and phase scopes stay span-free.
+  toggle_guard guard;
+  set_metrics_enabled(false);
+  const bool saved = spans_on();
+  set_spans_enabled(false);
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 10'000; ++i) {
+    span_record(span_kind::phase_seg, 1, 2, 3, 0);
+    span_mark(span_kind::mbox_send, 1, static_cast<std::uint64_t>(i));
+    { const phase_scope ps(phase::visit); }
+  }
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "disabled span sites must not allocate";
+  EXPECT_EQ(span_recorded_here(), 0u);
+  set_spans_enabled(saved);
+  phase_clear_thread();
+}
+
+TEST(Metrics, SpanRecordHotPathDoesNotAllocate) {
+  // With SFG_SPANS on, the first record faults in this rank's ring (and
+  // the thread-local cache); everything after — including the phase-hook
+  // segments a phase_scope emits — must be allocation-free.
+  toggle_guard guard;
+  set_metrics_enabled(false);
+  const bool saved = spans_on();
+  set_spans_enabled(true);
+  span_clear();
+  span_record(span_kind::phase_seg, 1, 2);          // warm up: ring + TLS
+  { const phase_scope warm(phase::visit); }         // warm up: phase TLS
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 10'000; ++i) {
+    span_record(span_kind::phase_seg, 1, 2, 3, 0);
+    span_mark(span_kind::mbox_recv, 0, static_cast<std::uint64_t>(i));
+    { const phase_scope ps(phase::visit); }
+  }
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "span recording must not allocate after the ring exists";
+  EXPECT_GE(span_recorded_here(), 20'000u);
+  set_spans_enabled(saved);
+  span_clear();
+  phase_clear_thread();
 }
 
 }  // namespace

@@ -1,0 +1,160 @@
+/// Span-ring tests (obs/span.hpp): gating, ring wrap accounting, JSON
+/// fragment shape, and the phase enter/exit hooks that turn phase scopes
+/// into the self-time segments the critical-path analyzer consumes.
+#include "obs/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/phase.hpp"
+
+namespace sfg::obs {
+namespace {
+
+/// Restore the span toggle and capacity (which also discards rings) so
+/// tests cannot leak state into each other.
+struct span_guard {
+  bool saved = spans_on();
+  std::size_t cap = span_capacity();
+  ~span_guard() {
+    set_spans_enabled(saved);
+    set_span_capacity(cap);
+    phase_clear_thread();
+  }
+};
+
+std::uint64_t num(const json& o, const char* key) {
+  const json* v = o.find(key);
+  return (v != nullptr && v->is_number())
+             ? static_cast<std::uint64_t>(v->as_double())
+             : 0;
+}
+
+TEST(Span, DisabledRecordsNothing) {
+  span_guard guard;
+  set_spans_enabled(true);
+  span_clear();
+  set_spans_enabled(false);
+  span_record(span_kind::phase_seg, 100, 200, 1, 0);
+  span_mark(span_kind::mbox_send, 2, 7);
+  EXPECT_EQ(span_recorded_here(), 0u);
+  const json frag = span_rank_json();
+  EXPECT_EQ(num(frag, "recorded"), 0u);
+}
+
+TEST(Span, RecordsAndSerializes) {
+  span_guard guard;
+  set_spans_enabled(true);
+  span_clear();
+  span_record(span_kind::phase_seg, 100, 200, 3, 1);
+  span_mark(span_kind::mbox_send, 2, 7);
+  EXPECT_EQ(span_recorded_here(), 2u);
+
+  const json frag = span_rank_json();
+  EXPECT_EQ(num(frag, "recorded"), 2u);
+  EXPECT_EQ(num(frag, "dropped"), 0u);
+  const json* spans = frag.find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_EQ(spans->size(), 2u);
+
+  const json& seg = spans->at(0);
+  ASSERT_NE(seg.find("k"), nullptr);
+  EXPECT_EQ(seg.find("k")->as_string(), "phase_seg");
+  EXPECT_EQ(num(seg, "t0"), 100u);
+  EXPECT_EQ(num(seg, "t1"), 200u);
+  EXPECT_EQ(num(seg, "a"), 3u);
+  EXPECT_EQ(num(seg, "b"), 1u);
+
+  // Markers are zero-length (a fresh process's first trace_now_us() call
+  // defines the epoch, so 0 is a legitimate timestamp — no positivity
+  // check here).
+  const json& mark = spans->at(1);
+  EXPECT_EQ(mark.find("k")->as_string(), "mbox_send");
+  EXPECT_EQ(num(mark, "t0"), num(mark, "t1"));
+  EXPECT_EQ(num(mark, "a"), 2u);
+  EXPECT_EQ(num(mark, "b"), 7u);
+}
+
+TEST(Span, RingWrapKeepsNewestAndCountsDrops) {
+  span_guard guard;
+  set_span_capacity(8);
+  set_spans_enabled(true);
+  span_clear();
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    span_record(span_kind::phase_seg, i, i + 1, i, 0);
+  }
+  EXPECT_EQ(span_recorded_here(), 20u);
+
+  const json frag = span_rank_json();
+  EXPECT_EQ(num(frag, "recorded"), 20u);
+  EXPECT_EQ(num(frag, "dropped"), 12u);
+  const json* spans = frag.find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_EQ(spans->size(), 8u);
+  // Oldest surviving entry is #12, newest is #19, in order.
+  EXPECT_EQ(num(spans->at(0), "a"), 12u);
+  EXPECT_EQ(num(spans->at(7), "a"), 19u);
+}
+
+TEST(Span, ClearResetsInPlace) {
+  span_guard guard;
+  set_spans_enabled(true);
+  span_clear();
+  span_record(span_kind::phase_seg, 1, 2, 0, 0);
+  EXPECT_EQ(span_recorded_here(), 1u);
+  span_clear();
+  EXPECT_EQ(span_recorded_here(), 0u);
+  span_record(span_kind::phase_seg, 3, 4, 0, 0);
+  EXPECT_EQ(span_recorded_here(), 1u);
+}
+
+TEST(Span, PhaseHooksRecordNonOverlappingSelfSegments) {
+  span_guard guard;
+  set_spans_enabled(true);
+  phase_clear_thread();
+  span_clear();
+
+  const auto dwell = std::chrono::milliseconds(2);
+  {
+    const phase_scope outer(phase::visit);
+    std::this_thread::sleep_for(dwell);
+    {
+      const phase_scope inner(phase::poll);
+      std::this_thread::sleep_for(dwell);
+    }
+    std::this_thread::sleep_for(dwell);
+  }
+
+  const json frag = span_rank_json();
+  const json* spans = frag.find("spans");
+  ASSERT_NE(spans, nullptr);
+  struct seg {
+    std::uint64_t t0, t1, ph, depth;
+  };
+  std::vector<seg> segs;
+  for (std::size_t i = 0; i < spans->size(); ++i) {
+    const json& s = spans->at(i);
+    if (s.find("k")->as_string() != "phase_seg") continue;
+    segs.push_back({num(s, "t0"), num(s, "t1"), num(s, "a"), num(s, "b")});
+  }
+  // visit-before-poll, poll, visit-after-poll: three maximal self-time
+  // intervals, strictly ordered, never overlapping.
+  ASSERT_GE(segs.size(), 3u);
+  for (const auto& s : segs) EXPECT_LT(s.t0, s.t1);
+  for (std::size_t i = 1; i < segs.size(); ++i) {
+    EXPECT_LE(segs[i - 1].t1, segs[i].t0) << "segments overlap at " << i;
+  }
+  EXPECT_EQ(segs[0].ph, static_cast<std::uint64_t>(phase::visit));
+  EXPECT_EQ(segs[0].depth, 0u);
+  EXPECT_EQ(segs[1].ph, static_cast<std::uint64_t>(phase::poll));
+  EXPECT_EQ(segs[1].depth, 1u);
+  EXPECT_EQ(segs[2].ph, static_cast<std::uint64_t>(phase::visit));
+  EXPECT_EQ(segs[2].depth, 0u);
+}
+
+}  // namespace
+}  // namespace sfg::obs

@@ -2,7 +2,7 @@
 /// Perf-regression gate over sfg-bench-report/1 directories.
 ///
 ///   sfg_bench_diff --baseline DIR --current DIR [--max-regress PCT]
-///                  [--min-speedup NAME=FACTOR]...
+///                  [--min-speedup NAME=FACTOR]... [--format=table|md]
 ///
 /// For every BENCH_*.json in the baseline directory, the same-named file
 /// must exist in the current directory.  Within each pair, every table
@@ -18,7 +18,9 @@
 ///     speedups a PR claims, e.g. queue/push_pop/bfs=1.3).
 ///
 /// Prints a per-row table (baseline ns, current ns, speedup) and exits 0
-/// only if every check passes.
+/// only if every check passes.  --format=md renders the same rows as a
+/// GitHub-flavored markdown pipe table instead, so CI can append the
+/// output to $GITHUB_STEP_SUMMARY; the exit semantics are unchanged.
 #include <algorithm>
 #include <cstdlib>
 #include <filesystem>
@@ -83,8 +85,35 @@ std::map<std::string, double> extract_rows(const json& doc) {
 
 int usage() {
   std::cerr << "usage: sfg_bench_diff --baseline DIR --current DIR "
-               "[--max-regress PCT] [--min-speedup NAME=FACTOR]...\n";
+               "[--max-regress PCT] [--min-speedup NAME=FACTOR]... "
+               "[--format=table|md]\n";
   return 2;
+}
+
+struct diff_row {
+  std::string name;
+  double base_ns;
+  double cur_ns;
+  double speedup;
+};
+
+void print_table(const std::vector<diff_row>& rows) {
+  sfg::util::table out({"benchmark", "baseline_ns", "current_ns", "speedup"});
+  for (const auto& r : rows) {
+    out.row().add(r.name).add(r.base_ns, 2).add(r.cur_ns, 2).add(r.speedup, 3);
+  }
+  out.print(std::cout);
+}
+
+void print_markdown(const std::vector<diff_row>& rows) {
+  std::cout << "| benchmark | baseline_ns | current_ns | speedup |\n"
+               "|---|---:|---:|---:|\n";
+  char buf[256];
+  for (const auto& r : rows) {
+    std::snprintf(buf, sizeof buf, "| %s | %.2f | %.2f | %.3f |\n",
+                  r.name.c_str(), r.base_ns, r.cur_ns, r.speedup);
+    std::cout << buf;
+  }
 }
 
 }  // namespace
@@ -93,13 +122,23 @@ int main(int argc, char** argv) {
   std::string baseline_dir;
   std::string current_dir;
   double max_regress_pct = 25.0;
+  std::string format = "table";
   std::map<std::string, double> min_speedup;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
-    if (a == "--baseline") {
+    if (a == "--format" || a.rfind("--format=", 0) == 0) {
+      if (a == "--format") {
+        const char* v = next();
+        if (v == nullptr) return usage();
+        format = v;
+      } else {
+        format = a.substr(std::string("--format=").size());
+      }
+      if (format != "table" && format != "md") return usage();
+    } else if (a == "--baseline") {
       const char* v = next();
       if (v == nullptr) return usage();
       baseline_dir = v;
@@ -129,7 +168,7 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  sfg::util::table out({"benchmark", "baseline_ns", "current_ns", "speedup"});
+  std::vector<diff_row> out_rows;
   std::size_t reports = 0;
   std::vector<fs::path> files;
   for (const auto& e : fs::directory_iterator(baseline_dir)) {
@@ -162,7 +201,7 @@ int main(int argc, char** argv) {
       }
       const double cur_ns = it->second;
       const double speedup = cur_ns > 0 ? base_ns / cur_ns : 0.0;
-      out.row().add(name).add(base_ns, 2).add(cur_ns, 2).add(speedup, 3);
+      out_rows.push_back({name, base_ns, cur_ns, speedup});
       if (cur_ns > base_ns * (1.0 + max_regress_pct / 100.0)) {
         fail(name + ": regressed " +
              std::to_string((cur_ns / base_ns - 1.0) * 100.0) + "% (limit " +
@@ -181,7 +220,11 @@ int main(int argc, char** argv) {
     fail("--min-speedup " + name + "=" + std::to_string(factor) +
          ": benchmark not found in any report pair");
   }
-  out.print(std::cout);
+  if (format == "md") {
+    print_markdown(out_rows);
+  } else {
+    print_table(out_rows);
+  }
   if (files.empty()) fail("no BENCH_*.json reports found in " + baseline_dir);
   (void)reports;
   if (g_failures == 0) {

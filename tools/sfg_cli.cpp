@@ -27,10 +27,13 @@
 ///
 /// FILEs ending in .txt are treated as text edge lists, anything else as
 /// the packed binary format (io/edge_list_io.hpp).
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -81,23 +84,82 @@ struct args_map {
   }
 };
 
-args_map parse_args(int argc, char** argv, int first) {
+/// What a command accepts: value-taking options (--key VALUE / --key=VALUE)
+/// and boolean flags.  Parsing against a spec makes unknown or malformed
+/// arguments a hard error (usage + exit 2) instead of silently-accepted
+/// noise, and lets flags never swallow a following positional ("--em
+/// file.bin" keeps file.bin as the input path).
+struct arg_spec {
+  std::set<std::string> options;
+  std::set<std::string> flags;
+};
+
+/// Options whose values must parse fully as numbers; checked at parse
+/// time so opt_u64/opt_f64 (std::stoull/std::stod) can never throw on
+/// user input.
+const std::set<std::string> kU64Options = {
+    "scale", "seed", "ranks", "source", "ghosts",
+    "k",     "approx", "em-frames", "em-page"};
+const std::set<std::string> kF64Options = {"rewire", "hdrf-lambda", "eps"};
+
+bool parses_as_u64(const std::string& s) {
+  if (s.empty() || s[0] == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  (void)std::strtoull(s.c_str(), &end, 10);
+  return errno == 0 && end != nullptr && *end == '\0';
+}
+
+bool parses_as_f64(const std::string& s) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  (void)std::strtod(s.c_str(), &end);
+  return errno == 0 && end != nullptr && *end == '\0';
+}
+
+std::optional<args_map> parse_args(int argc, char** argv, int first,
+                                   const arg_spec& spec) {
   args_map out;
+  const auto bad = [](const std::string& why) -> std::optional<args_map> {
+    std::cerr << "sfg_cli: " << why << "\n";
+    return std::nullopt;
+  };
   for (int i = first; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a.rfind("--", 0) == 0) {
-      const std::string key = a.substr(2);
-      if (const auto eq = key.find('='); eq != std::string::npos) {
-        out.options[key.substr(0, eq)] = key.substr(eq + 1);
-      } else if (i + 1 < argc &&
-                 std::string(argv[i + 1]).rfind("--", 0) != 0) {
-        out.options[key] = argv[++i];
-      } else {
-        out.flags[key] = true;
-      }
-    } else {
+    if (a.rfind("--", 0) != 0) {
       out.positional.push_back(a);
+      continue;
     }
+    std::string key = a.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = key.find('='); eq != std::string::npos) {
+      value = key.substr(eq + 1);
+      key = key.substr(0, eq);
+      has_value = true;
+    }
+    if (key.empty()) return bad("malformed option '" + a + "'");
+    if (spec.flags.contains(key)) {
+      if (has_value) return bad("flag --" + key + " does not take a value");
+      out.flags[key] = true;
+      continue;
+    }
+    if (!spec.options.contains(key)) {
+      return bad("unknown option --" + key);
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) return bad("--" + key + " requires a value");
+      value = argv[++i];
+    }
+    if (kU64Options.contains(key) && !parses_as_u64(value)) {
+      return bad("--" + key + " expects a non-negative integer, got '" +
+                 value + "'");
+    }
+    if (kF64Options.contains(key) && !parses_as_f64(value)) {
+      return bad("--" + key + " expects a number, got '" + value + "'");
+    }
+    out.options[key] = value;
   }
   return out;
 }
@@ -453,13 +515,34 @@ int cmd_pagerank(const args_map& a) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
-  const auto a = parse_args(argc, argv, 2);
-  if (cmd == "generate") return cmd_generate(a);
-  if (cmd == "info") return cmd_info(a);
-  if (cmd == "bfs") return cmd_bfs(a);
-  if (cmd == "kcore") return cmd_kcore(a);
-  if (cmd == "triangles") return cmd_triangles(a);
-  if (cmd == "components") return cmd_components(a);
-  if (cmd == "pagerank") return cmd_pagerank(a);
-  return usage();
+  // Every algorithm command shares the placement + observability +
+  // external-memory surface; each adds its own knobs on top.
+  arg_spec spec{{"ranks", "partitioner", "hdrf-lambda", "json-report",
+                 "trace", "em-frames", "em-page"},
+                {"em"}};
+  if (cmd == "generate") {
+    spec = {{"model", "scale", "rewire", "seed", "out"}, {"text"}};
+  } else if (cmd == "info") {
+    spec = {{}, {}};
+  } else if (cmd == "bfs") {
+    spec.options.insert({"source", "ghosts", "bfs"});
+    spec.flags.insert("validate");
+  } else if (cmd == "kcore") {
+    spec.options.insert("k");
+  } else if (cmd == "triangles") {
+    spec.options.insert("approx");
+  } else if (cmd == "components" || cmd == "pagerank") {
+    if (cmd == "pagerank") spec.options.insert("eps");
+  } else {
+    return usage();
+  }
+  const auto a = parse_args(argc, argv, 2, spec);
+  if (!a) return usage();
+  if (cmd == "generate") return cmd_generate(*a);
+  if (cmd == "info") return cmd_info(*a);
+  if (cmd == "bfs") return cmd_bfs(*a);
+  if (cmd == "kcore") return cmd_kcore(*a);
+  if (cmd == "triangles") return cmd_triangles(*a);
+  if (cmd == "components") return cmd_components(*a);
+  return cmd_pagerank(*a);
 }

@@ -30,6 +30,15 @@
 ///             --bfs=topdown|bottomup|hybrid): mode tag, α/β knobs,
 ///             per-level direction records, and a direction_switch_level
 ///             equal to the first bottom-up level (or -1)
+///   --critpath  an sfg-metrics/1 report whose traversal entries carry
+///             sfg-critpath/1 critical-path sections (from SFG_SPANS):
+///             delegates to obs::critpath_validate — connected
+///             start→finish segment chain, blame fractions summing to at
+///             most 1.0 of the measured wall and covering >= 90% of it
+///   --all     umbrella: sniff each file's schema and run every validator
+///             that applies (metrics reports additionally get the
+///             comm-matrix / bfs-levels / critpath checks for whichever
+///             sections are present)
 ///
 /// Exit status: 0 if every file validates, 1 otherwise (with one line per
 /// problem on stderr).
@@ -42,6 +51,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/critpath.hpp"
 #include "obs/json.hpp"
 #include "obs/timeseries.hpp"
 
@@ -622,6 +632,43 @@ void check_bfs_levels(const std::string& file) {
   }
 }
 
+/// --critpath: an sfg-metrics/1 report where at least one traversal
+/// carries an sfg-critpath/1 section (embedded when SFG_SPANS was set),
+/// and every one present passes the invariants enforced next to the
+/// analyzer (obs/critpath.cpp): a connected start→finish segment chain
+/// within the measured window, fractions consistent with durations,
+/// blame totals matching the segments, and coverage >= 90%.
+void check_critpath(const std::string& file) {
+  const auto doc = load(file);
+  if (!doc) return;
+  if (!has_key(*doc, "schema") ||
+      !(*doc->find("schema") == json("sfg-metrics/1"))) {
+    fail(file, "schema is not \"sfg-metrics/1\"");
+    return;
+  }
+  if (!has_key(*doc, "traversals") || !doc->find("traversals")->is_array()) {
+    fail(file, "missing array \"traversals\"");
+    return;
+  }
+  const json& traversals = *doc->find("traversals");
+  std::size_t with_critpath = 0;
+  for (std::size_t i = 0; i < traversals.size(); ++i) {
+    const json& entry = traversals.at(i);
+    if (!has_key(entry, "critpath")) continue;
+    ++with_critpath;
+    std::vector<std::string> errors;
+    if (!sfg::obs::critpath_validate(*entry.find("critpath"), &errors)) {
+      const std::string where = "traversals[" + std::to_string(i) + "].critpath";
+      for (const std::string& e : errors) fail(file, where + ": " + e);
+      if (errors.empty()) fail(file, where + " is invalid");
+    }
+  }
+  if (with_critpath == 0) {
+    fail(file, "no traversal carries a \"critpath\" section (was SFG_SPANS "
+               "set alongside SFG_METRICS?)");
+  }
+}
+
 void check_timeseries(const std::string& file) {
   // The line-level rules live next to the producer (obs/timeseries.cpp),
   // so the chaos test and this tool can never drift apart.
@@ -632,10 +679,77 @@ void check_timeseries(const std::string& file) {
   }
 }
 
+/// --all: schema-sniffed umbrella.  One flag, every registered validator
+/// that applies to the file.  Sniffing is structural, not by extension:
+/// a whole-file JSON parse that fails falls through to the line-oriented
+/// time-series validator (the only JSONL format we emit); parsed
+/// documents dispatch on their schema tag.  Metrics reports additionally
+/// run the section validators for whichever sections are actually
+/// present — unlike the dedicated flags, --all does not require any
+/// particular section to exist.
+void check_all(const std::string& file) {
+  std::ifstream in(file);
+  if (!in) {
+    fail(file, "cannot open");
+    return;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const auto doc = json::parse(ss.str());
+  if (!doc || !doc->is_object()) {
+    check_timeseries(file);
+    return;
+  }
+  if (has_key(*doc, "traceEvents")) {
+    check_trace(file);
+    return;
+  }
+  const json* schema = doc->find("schema");
+  const std::string tag =
+      (schema != nullptr && schema->is_string()) ? schema->as_string() : "";
+  if (tag == "sfg-flight/1") {
+    check_flight(file);
+  } else if (tag == "sfg-run-report/1") {
+    if (has_key(*doc, "schema_bench")) {
+      check_bench(file);
+    } else {
+      check_report(file);
+    }
+  } else if (tag == "sfg-metrics/1") {
+    check_report(file);
+    if (!has_key(*doc, "traversals") || !doc->find("traversals")->is_array()) {
+      return;  // check_report already failed the file
+    }
+    const json& traversals = *doc->find("traversals");
+    for (std::size_t i = 0; i < traversals.size(); ++i) {
+      const json& entry = traversals.at(i);
+      if (has_key(entry, "comm_matrix")) {
+        check_comm_matrix_entry(file, entry, i);
+      }
+      if (has_key(entry, "bfs")) {
+        check_bfs_entry(file, *entry.find("bfs"), i);
+      }
+      if (has_key(entry, "critpath")) {
+        std::vector<std::string> errors;
+        if (!sfg::obs::critpath_validate(*entry.find("critpath"), &errors)) {
+          const std::string where =
+              "traversals[" + std::to_string(i) + "].critpath";
+          for (const std::string& e : errors) fail(file, where + ": " + e);
+          if (errors.empty()) fail(file, where + " is invalid");
+        }
+      }
+    }
+  } else {
+    fail(file, "unrecognized document (no known schema tag, traceEvents, or "
+               "time-series stream)");
+  }
+}
+
 int usage() {
   std::cerr << "usage: sfg_report_check [--bench FILE]... [--report FILE]... "
                "[--trace FILE]... [--flight FILE]... [--timeseries FILE]... "
-               "[--comm-matrix FILE]... [--bfs-levels FILE]...\n";
+               "[--comm-matrix FILE]... [--bfs-levels FILE]... "
+               "[--critpath FILE]... [--all FILE]...\n";
   return 2;
 }
 
@@ -662,6 +776,10 @@ int main(int argc, char** argv) {
       check_comm_matrix(file);
     } else if (a == "--bfs-levels") {
       check_bfs_levels(file);
+    } else if (a == "--critpath") {
+      check_critpath(file);
+    } else if (a == "--all") {
+      check_all(file);
     } else {
       return usage();
     }
