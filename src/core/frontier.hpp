@@ -32,6 +32,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/mem.hpp"
 #include "util/bits.hpp"
 
 namespace sfg::core {
@@ -56,6 +57,11 @@ class frontier {
     sparse_.reserve(sparse_budget_);
     count_ = 0;
     dense_only_ = false;
+    // All capacity is acquired here (see allocation discipline above), so
+    // this is the one ledger sync the frontier ever needs — the hot
+    // members stay charge-free as well as allocation-free.
+    mem_.set(words_.capacity() * sizeof(std::uint64_t) +
+             sparse_.capacity() * sizeof(std::uint32_t));
   }
 
   [[nodiscard]] std::size_t num_bits() const noexcept { return num_bits_; }
@@ -162,6 +168,7 @@ class frontier {
     swap(a.sparse_budget_, b.sparse_budget_);
     swap(a.count_, b.count_);
     swap(a.dense_only_, b.dense_only_);
+    swap(a.mem_, b.mem_);
   }
 
  private:
@@ -171,6 +178,7 @@ class frontier {
   std::size_t sparse_budget_ = 0;
   std::size_t count_ = 0;
   bool dense_only_ = false;
+  obs::mem_tracker mem_{obs::mem_subsystem::frontier};
 };
 
 /// Level flip: `next` becomes the current frontier, and the vacated

@@ -30,6 +30,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/mem.hpp"
 #include "util/rng.hpp"
 
 namespace sfg::core {
@@ -478,10 +479,12 @@ class local_queue {
     if constexpr (bucketable) {
       if (use_bucket_) {
         bucket_.push(v);
+        sync_mem();
         return;
       }
     }
     heap_.push(v);
+    sync_mem();
   }
   /// Non-const: the bucket variant lazily sorts staged pushes here.
   [[nodiscard]] const Visitor& top() {
@@ -494,10 +497,12 @@ class local_queue {
     if constexpr (bucketable) {
       if (use_bucket_) {
         bucket_.pop();
+        sync_mem();
         return;
       }
     }
     heap_.pop();
+    sync_mem();
   }
 
  private:
@@ -514,9 +519,24 @@ class local_queue {
     return false;
   }
 
+  /// Ledger sync (mem_subsystem::queue_buckets): a page-quantized
+  /// estimate of live entries across staged runs, the spill heap, and the
+  /// heap fallback alike.  Quantizing means the common push/pop is one
+  /// compare in the tracker (the charge only moves when the entry count
+  /// crosses a 4 KiB boundary), and size-based accounting — unlike
+  /// chasing every run/spare/overflow capacity — stays one call site.
+  /// Container slack (recycled spares, bucket array) is deliberately not
+  /// counted; it is bounded and the coverage ratio absorbs it.
+  static constexpr std::size_t kMemQuantum = 4096;
+  void sync_mem() noexcept {
+    const std::size_t bytes = size() * sizeof(Visitor);
+    mem_.set((bytes + kMemQuantum - 1) & ~(kMemQuantum - 1));
+  }
+
   bool use_bucket_;
   heap_queue<Visitor> heap_;
   typename detail::bucket_or_stub<Visitor>::type bucket_;
+  obs::mem_tracker mem_{obs::mem_subsystem::queue_buckets};
 };
 
 }  // namespace sfg::core

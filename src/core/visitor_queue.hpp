@@ -37,6 +37,7 @@
 #include "mailbox/routed_mailbox.hpp"
 #include "obs/critpath.hpp"
 #include "obs/flight.hpp"
+#include "obs/mem.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase.hpp"
 #include "obs/run_report.hpp"
@@ -205,6 +206,11 @@ class visitor_queue {
     // walk by the last begin/end pair in each rank's ring.
     obs::span_mark(obs::span_kind::trav_begin, traversal_ordinal_,
                    static_cast<std::uint64_t>(c.size()));
+    // Pin the RSS baseline before any traversal allocation (lazy EM frame
+    // fills, queue growth, mailbox arenas): the first sample ever becomes
+    // the baseline, so coverage measures accounted bytes against what the
+    // traversals actually grew, not against the binary + graph load.
+    if (obs::mem_on()) (void)obs::mem_sample_rss();
     // Live straggler gauges: this rank's queue depth, locally-known
     // in-flight records and termination epoch, refreshed every poll
     // iteration so the registry always shows who is dragging.  Handles are
@@ -306,6 +312,10 @@ class visitor_queue {
       // Outside the phase scopes: the sampler reads closed-scope self
       // times, so sampling here sees this iteration fully attributed.
       obs::ts_poll();
+      // Pressure callbacks (page-cache shrink etc.) dispatch here, with no
+      // subsystem locks held — never from the charge that crossed the
+      // threshold.  Disarmed: one relaxed load.
+      obs::mem_pressure_poll();
       if (done) break;
     }
     // Accumulate (never overwrite): every stats_ field stays monotonic
@@ -369,6 +379,9 @@ class visitor_queue {
     obs::metrics_registry::instance()
         .get_histogram("traversal.rank_time_us")
         .record_raw(last_wall_us_);
+    // Memory ledger gauges ride the same publish cadence (levels, not
+    // deltas, so re-publishing is idempotent).
+    obs::mem_publish_registry();
   }
 
   /// If a metrics report path is configured (SFG_METRICS or
@@ -405,6 +418,12 @@ class visitor_queue {
     const bool want_critpath = obs::spans_on();
     obs::json span_fragments;
     if (want_critpath) span_fragments = obs::gather_json(c, obs::span_rank_json());
+    // Memory-attribution section (sfg-mem/1): every rank ships its ledger
+    // fragment; rank 0 folds in the process ground truth (RSS, pressure).
+    // Same process-wide-gate argument as the matrix.
+    const bool want_mem = obs::mem_on();
+    obs::json mem_rows;
+    if (want_mem) mem_rows = obs::gather_json(c, obs::mem_rank_json(c.rank()));
     if (c.rank() != 0) return;
     obs::json entry = obs::json::object();
     entry["ranks"] = static_cast<std::uint64_t>(all.size());
@@ -428,6 +447,7 @@ class visitor_queue {
       obs::json cp = obs::critpath_analyze(span_fragments);
       if (!cp.is_null()) entry["critpath"] = std::move(cp);
     }
+    if (want_mem) entry["mem"] = obs::mem_section_json(std::move(mem_rows));
     obs::append_traversal_report(std::move(entry));
   }
 

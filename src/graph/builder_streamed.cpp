@@ -29,6 +29,7 @@
 
 #include "gen/generators.hpp"
 #include "graph/builder.hpp"
+#include "obs/mem.hpp"
 
 namespace sfg::graph {
 
@@ -52,6 +53,12 @@ partition_blueprint build_partition_streamed(runtime::comm& c,
       c.all_gatherv(std::span<const edge64>(edges), nullptr);
   edges.clear();
   edges.shrink_to_fit();
+  // The replicated stream is this path's O(|E|)-per-rank cost (see the
+  // header comment); charge it to the ledger for the life of the build so
+  // sfg_mem attributes construction spikes to builder_scratch, not
+  // "other".  Scoped: the tracker's destructor releases at return.
+  obs::mem_tracker scratch_mem{obs::mem_subsystem::builder_scratch};
+  scratch_mem.set(stream.capacity() * sizeof(edge64));
   std::sort(stream.begin(), stream.end(), by_src_dst{});
   if (cfg.remove_duplicates) {
     stream.erase(std::unique(stream.begin(), stream.end()), stream.end());
@@ -61,6 +68,8 @@ partition_blueprint build_partition_streamed(runtime::comm& c,
   const auto part = make_partitioner(cfg.partitioner);
   const std::vector<int> owner = part->place(stream, p);
   assert(owner.size() == stream.size());
+  scratch_mem.set(stream.capacity() * sizeof(edge64) +
+                  owner.capacity() * sizeof(int));
 
   partition_blueprint bp;
   bp.rank = rank;

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/mem.hpp"
 #include "util/bits.hpp"
 #include "util/rng.hpp"
 
@@ -225,6 +226,21 @@ class sne_partitioner final : public edge_partitioner {
     std::unordered_map<std::uint64_t, std::vector<std::size_t>> incident;
     std::uint64_t pending = 0;
 
+    // Ledger charge (mem_subsystem::partitioner_cache): the fixed
+    // assignment arrays plus a per-pending-edge estimate for the FIFO +
+    // endpoint index (one fifo slot, two incident slots).  Quantized so
+    // the per-edge sync is one compare until the estimate crosses a
+    // 4 KiB boundary; released when place() returns.
+    obs::mem_tracker cache_mem{obs::mem_subsystem::partitioner_cache};
+    const std::size_t fixed_bytes =
+        out.capacity() * sizeof(int) + done.capacity();
+    const auto sync_mem = [&]() noexcept {
+      const std::size_t bytes =
+          fixed_bytes + pending * 3 * sizeof(std::size_t);
+      cache_mem.set((bytes + 4095) & ~std::size_t{4095});
+    };
+    sync_mem();
+
     int k = 0;
     std::uint64_t count = 0;  // edges on rank k so far
 
@@ -264,12 +280,14 @@ class sne_partitioner final : public edge_partitioner {
           boundary.contains(stream[i].dst)) {
         assign(i);
         expand();
+        sync_mem();
         continue;
       }
       fifo.push_back(i);
       incident[stream[i].src].push_back(i);
       incident[stream[i].dst].push_back(i);
       ++pending;
+      sync_mem();
       if (pending > cache_cap) {
         while (!fifo.empty() && done[fifo.front()]) fifo.pop_front();
         if (!fifo.empty()) {

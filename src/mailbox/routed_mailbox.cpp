@@ -120,6 +120,9 @@ void routed_mailbox::flush_channel(int next_hop, flush_reason why) {
   // empty, so the channel is ready for its next open.
   comm_->send(next_hop, cfg_.tag, std::move(ch.buf));
   ch.buf.clear();
+  // The capacity left with the move (it is the in-flight packet now, the
+  // transport's bytes, not the mailbox's); release it from the ledger.
+  sync_channel_mem(ch);
   --dirty_count_;
   obs::flight_record(obs::flight_kind::mbox_flush, sent_bytes,
                      static_cast<std::uint64_t>(next_hop));
@@ -142,6 +145,28 @@ void routed_mailbox::tick() {
   ++tick_now_;
   if (dirty_count_ == 0) {
     dirty_hops_.clear();
+    return;
+  }
+  // Memory pressure (obs/mem.hpp): stop sitting on buffered arenas — push
+  // every dirty channel out now so their capacity can be released instead
+  // of waiting for watermarks that may never fill under a shrunk budget.
+  // The mailbox is single-threaded per rank, so this polls the level
+  // rather than registering a callback.
+  if (obs::mem_budget() != 0 &&
+      obs::mem_pressure() != obs::mem_pressure_level::ok) {
+    std::size_t flushed = 0;
+    for (const int hop : dirty_hops_) {
+      if (!channels_[static_cast<std::size_t>(hop)].buf.empty()) {
+        flush_channel(hop, flush_reason::manual);
+        ++flushed;
+      }
+    }
+    dirty_hops_.clear();
+    if (flushed != 0 && (obs::metrics_on() || obs::ts_on())) {
+      obs::metrics_registry::instance()
+          .get_counter("mem.pressure_mbox_flushes")
+          .add_raw(flushed);
+    }
     return;
   }
   if (cfg_.max_age_ticks == 0) return;

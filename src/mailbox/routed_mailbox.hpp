@@ -48,6 +48,7 @@
 #include "mailbox/topology.hpp"
 #include "obs/flight.hpp"
 #include "obs/histogram.hpp"
+#include "obs/mem.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase.hpp"
 #include "obs/span.hpp"
@@ -229,6 +230,10 @@ class routed_mailbox {
     /// malloc instead of reserving the whole watermark for a packet that
     /// may carry a handful of records.
     std::size_t reserve_hint = 0;
+    /// Capacity bytes currently charged to the memory ledger for this
+    /// channel (mem_subsystem::mailbox_arena), synced at capacity
+    /// transitions — open, append growth, flush move-out.
+    std::size_t mem_charged = 0;
   };
 
   /// Append a record to the buffer for its next hop (or local arena).
@@ -291,6 +296,29 @@ class routed_mailbox {
   std::uint32_t lat_tick_ = 0;
   /// Latency stamp for the local arena (self-sends), same sampling rule.
   std::uint64_t local_open_ts_us_ = 0;
+  /// Sum of per-channel mem_charged, so a capacity sync is O(1) instead of
+  /// an O(ranks) walk over channels_.
+  std::uint64_t channels_mem_charged_ = 0;
+  /// One ledger entry for everything this mailbox buffers: the per-hop
+  /// aggregation arenas plus the local double buffer.  Synced at capacity
+  /// transitions, so bytes between sync points (a mid-append vector grow)
+  /// are undercounted only until the next flush/open.
+  obs::mem_tracker arena_mem_{obs::mem_subsystem::mailbox_arena};
+
+  /// Re-sync `ch`'s capacity into the ledger; call whenever its buffer's
+  /// capacity may have changed.  Unchanged: one compare.
+  void sync_channel_mem(channel& ch) noexcept {
+    const std::size_t cap = ch.buf.capacity();
+    if (cap == ch.mem_charged) return;
+    channels_mem_charged_ += cap;
+    channels_mem_charged_ -= ch.mem_charged;
+    ch.mem_charged = cap;
+    sync_arena_mem();
+  }
+  void sync_arena_mem() noexcept {
+    arena_mem_.set(channels_mem_charged_ + local_arena_.capacity() +
+                   local_scratch_.capacity());
+  }
 };
 
 inline void routed_mailbox::send(int final_dest,
@@ -333,6 +361,7 @@ inline void routed_mailbox::route_record(std::uint16_t origin, int final_dest,
     arena.insert(arena.end(), hdr_bytes, hdr_bytes + sizeof(hdr));
     if (ctx != 0) arena.insert(arena.end(), ctx_bytes, ctx_bytes + sizeof(ctx));
     arena.insert(arena.end(), record.begin(), record.end());
+    sync_arena_mem();
     return;
   }
   const int hop = router_.next_hop(comm_->rank(), final_dest);
@@ -358,6 +387,7 @@ inline void routed_mailbox::route_record(std::uint16_t origin, int final_dest,
   ch.buf.insert(ch.buf.end(), hdr_bytes, hdr_bytes + sizeof(hdr));
   if (ctx != 0) ch.buf.insert(ch.buf.end(), ctx_bytes, ctx_bytes + sizeof(ctx));
   ch.buf.insert(ch.buf.end(), record.begin(), record.end());
+  sync_channel_mem(ch);
   if (ch.buf.size() >= ch.watermark) flush_channel(hop, flush_reason::size);
 }
 
@@ -476,6 +506,7 @@ std::size_t routed_mailbox::drain_local(F&& deliver) {
     std::swap(local_arena_, local_scratch_);
   }
   draining_local_ = false;
+  sync_arena_mem();
   return delivered;
 }
 

@@ -11,6 +11,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/mem.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
 
@@ -29,11 +30,16 @@ struct flight_slot {
 
 /// Single-writer ring: the owning rank appends, anyone may snapshot.
 struct flight_ring {
-  flight_ring(std::size_t cap, int rank_) : slots(cap), mask(cap - 1), rank(rank_) {}
+  flight_ring(std::size_t cap, int rank_) : slots(cap), mask(cap - 1), rank(rank_) {
+    // Safe under the registry mutex: mem_apply never calls back into the
+    // flight recorder (pressure transitions are queued for the poll).
+    mem.set(cap * sizeof(flight_slot));
+  }
   std::vector<flight_slot> slots;
   std::size_t mask;
   int rank;
   std::atomic<std::uint64_t> head{0};  ///< total events ever recorded
+  mem_tracker mem{mem_subsystem::obs};
 };
 
 struct flight_globals {
@@ -96,6 +102,7 @@ const char* flight_kind_name(flight_kind k) noexcept {
     case flight_kind::fault_duplicate: return "fault_duplicate";
     case flight_kind::fault_delay: return "fault_delay";
     case flight_kind::rank_fault: return "rank_fault";
+    case flight_kind::mem_pressure: return "mem_pressure";
   }
   return "unknown";
 }

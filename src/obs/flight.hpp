@@ -49,6 +49,7 @@ enum class flight_kind : std::uint32_t {
   fault_duplicate,  ///< a = destination rank (injected duplicated packet)
   fault_delay,      ///< a = destination rank, b = delay us (injected)
   rank_fault,       ///< a = rank that threw; recorded just before poison
+  mem_pressure,     ///< a = level entered (mem_pressure_level), b = accounted bytes
 };
 
 [[nodiscard]] const char* flight_kind_name(flight_kind k) noexcept;

@@ -71,6 +71,18 @@ obs_toggles::obs_toggles() {
     comm_lat_sample.store(n > 0 ? static_cast<std::uint32_t>(n) : 0,
                           std::memory_order_relaxed);
   }
+  if (const char* env = std::getenv("SFG_MEM");
+      env != nullptr && *env != '\0' && *env != '0') {
+    mem.store(true, std::memory_order_relaxed);
+  }
+  if (const char* env = std::getenv("SFG_MEM_BUDGET");
+      env != nullptr && *env != '\0') {
+    const unsigned long long n = std::strtoull(env, nullptr, 10);
+    if (n > 0) {
+      mem_budget.store(n, std::memory_order_relaxed);
+      mem.store(true, std::memory_order_relaxed);  // ladder needs accounting
+    }
+  }
 }
 
 obs_toggles& toggles() {
@@ -98,6 +110,17 @@ void set_comm_lat_sample(std::uint32_t n) {
 
 void set_spans_enabled(bool on) {
   detail::toggles().spans.store(on, std::memory_order_relaxed);
+}
+
+void set_mem_enabled(bool on) {
+  detail::toggles().mem.store(on, std::memory_order_relaxed);
+}
+
+void set_mem_budget(std::uint64_t bytes) {
+  detail::toggles().mem_budget.store(bytes, std::memory_order_relaxed);
+  if (bytes > 0) {
+    detail::toggles().mem.store(true, std::memory_order_relaxed);
+  }
 }
 
 std::string metrics_report_path() {

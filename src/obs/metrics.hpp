@@ -43,6 +43,14 @@
 ///                           section (critpath.hpp) consumed by sfg_why
 ///   SFG_SPAN_EVENTS=<n>     span-ring capacity per rank, rounded up to a
 ///                           power of two (default 16384); 0 disables
+///   SFG_MEM=1               force per-subsystem memory attribution on
+///                           (mem.hpp) even when metrics/time-series are
+///                           off; it is implied by SFG_METRICS and
+///                           SFG_TS_INTERVAL_MS
+///   SFG_MEM_BUDGET=<bytes>  arm the soft memory budget: accounted bytes
+///                           crossing the ladder thresholds fire ok/soft/
+///                           hard pressure transitions (mem.hpp); implies
+///                           attribution on.  0/unset disarms the ladder
 #pragma once
 
 #include <atomic>
@@ -81,6 +89,11 @@ struct obs_toggles {
   /// Critical-path span log (SFG_SPANS, span.hpp); unlike the matrix and
   /// the I/O histograms this is opt-in only — never implied by metrics.
   std::atomic<bool> spans{false};
+  /// Force per-subsystem memory attribution on (SFG_MEM, mem.hpp); also
+  /// implied by metrics / time-series (mem_on()) and by a non-zero budget.
+  std::atomic<bool> mem{false};
+  /// Soft memory budget in bytes (SFG_MEM_BUDGET, mem.hpp); 0 = disarmed.
+  std::atomic<std::uint64_t> mem_budget{0};
 };
 
 obs_toggles& toggles();
@@ -139,6 +152,22 @@ obs_toggles& toggles();
   return detail::toggles().comm_lat_sample.load(std::memory_order_relaxed);
 }
 
+/// Memory-attribution gate (mem.hpp): the per-rank per-subsystem byte
+/// counters update whenever any consumer wants them — metrics reports,
+/// the live sampler, an explicit SFG_MEM=1, or an armed budget (the
+/// pressure ladder cannot fire without the accounting that feeds it).
+/// Disabled, a charge site is relaxed loads + one predictable branch.
+[[nodiscard]] inline bool mem_on() noexcept {
+  return detail::toggles().mem.load(std::memory_order_relaxed) ||
+         metrics_on() || ts_on();
+}
+
+/// Soft memory budget in bytes (SFG_MEM_BUDGET / set_mem_budget);
+/// 0 means the pressure ladder is disarmed.
+[[nodiscard]] inline std::uint64_t mem_budget() noexcept {
+  return detail::toggles().mem_budget.load(std::memory_order_relaxed);
+}
+
 /// Programmatic override (benches/CLI/tests); the env var is only the
 /// default.
 void set_metrics_enabled(bool on);
@@ -149,6 +178,11 @@ void set_comm_matrix_enabled(bool on);
 void set_io_hist_enabled(bool on);
 void set_comm_lat_sample(std::uint32_t n);
 void set_spans_enabled(bool on);
+/// Memory-attribution overrides (mem.hpp).  A non-zero budget also turns
+/// the accounting on (the ladder needs the counters); setting it back to
+/// zero disarms the ladder but leaves the accounting toggle alone.
+void set_mem_enabled(bool on);
+void set_mem_budget(std::uint64_t bytes);
 
 /// Path for traversal run reports (SFG_METRICS or set_metrics_report_path);
 /// empty when reporting is off.

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/mem.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
 
@@ -27,11 +28,14 @@ struct span_slot {
 
 /// Single-writer ring: the owning rank appends, anyone may snapshot.
 struct span_ring {
-  span_ring(std::size_t cap, int rank_) : slots(cap), mask(cap - 1), rank(rank_) {}
+  span_ring(std::size_t cap, int rank_) : slots(cap), mask(cap - 1), rank(rank_) {
+    mem.set(cap * sizeof(span_slot));
+  }
   std::vector<span_slot> slots;
   std::size_t mask;
   int rank;
   std::atomic<std::uint64_t> head{0};  ///< total spans ever recorded
+  mem_tracker mem{mem_subsystem::obs};
 };
 
 struct span_globals {

@@ -10,6 +10,7 @@
 #include <memory>
 #include <mutex>
 
+#include "obs/mem.hpp"
 #include "util/log.hpp"
 
 namespace sfg::obs {
@@ -70,6 +71,7 @@ struct ts_sampler {
   ts_sample ring[kTsRingCapacity];
   std::FILE* out = nullptr;
   std::string line;  ///< reused serialization buffer (steady-state alloc-free)
+  mem_tracker mem{mem_subsystem::obs};  ///< charges the sampler's own ring
 
   ~ts_sampler() {
     if (out != nullptr) std::fclose(out);
@@ -133,6 +135,7 @@ ts_sampler* sampler_for_rank(int rank) {
     s->g_epoch = &reg.get_gauge(prefix + ".term_epoch");
     s->g_executed = &reg.get_gauge(prefix + ".visitors_executed");
     s->line.reserve(1024);
+    s->mem.set(sizeof(ts_sampler) + s->line.capacity());
     std::error_code ec;
     std::filesystem::create_directories(g.dir, ec);
     const std::string path = rank_file_path(g.dir, rank);
@@ -218,6 +221,10 @@ void emit_line(ts_sampler& s, const ts_sample& m) {
   append_f64(l, m.executed);
   l += ",\"executed_rate\":";
   append_f64(l, m.executed_rate);
+  l += ",\"mem_accounted_bytes\":";
+  append_f64(l, m.mem_accounted);
+  l += ",\"mem_rss_bytes\":";
+  append_f64(l, m.mem_rss);
   l += "},\"rates\":{";
   for (std::size_t i = 0; i < kTsTracked; ++i) {
     if (i != 0) l += ',';
@@ -289,6 +296,11 @@ void take_sample(ts_sampler& s, std::uint64_t now) {
   const double de = m.executed - s.prev_executed;
   m.executed_rate = de > 0 ? de / dt_s : 0;
   s.prev_executed = m.executed;
+
+  // Memory ledger + ground truth: ts implies mem_on(), and both reads are
+  // allocation-free (raw syscalls for the RSS), so sample unconditionally.
+  m.mem_accounted = static_cast<double>(mem_rank_accounted_current());
+  m.mem_rss = static_cast<double>(mem_sample_rss().rss_bytes);
 
   s.ring[s.recorded % kTsRingCapacity] = m;
   ++s.recorded;

@@ -59,6 +59,8 @@ struct ts_sample {
   double term_epoch = 0;
   double executed = 0;            ///< live visitors-executed gauge
   double executed_rate = 0;       ///< visitors/s on this rank
+  double mem_accounted = 0;       ///< this rank's accounted bytes (mem.hpp)
+  double mem_rss = 0;             ///< process RSS sampled with this line
   double rate[kTsTracked] = {};   ///< tracked registry counters, per second
   std::uint64_t total[kTsTracked] = {};  ///< their absolute values
 };

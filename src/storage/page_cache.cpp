@@ -55,6 +55,68 @@ page_cache::page_cache(block_device& dev, config cfg)
   if (cfg.page_size == 0 || cfg.num_frames == 0) {
     throw std::invalid_argument("page_cache: page_size and num_frames must be > 0");
   }
+  frame_limit_ = cfg_.num_frames;
+  // Budget-pressure reaction: the cache is the engine's biggest elastic
+  // consumer, so it volunteers its frame pool first.  Dispatch comes from
+  // mem_pressure_poll with no cache locks held, so taking mu_ inside the
+  // callback is safe.
+  mem_cb_id_ = obs::mem_register_pressure_callback(
+      [this](obs::mem_pressure_level level) { on_mem_pressure(level); });
+}
+
+page_cache::~page_cache() {
+  // Hard synchronization point: after this returns the callback can never
+  // fire again (mem.cpp invokes under the same registration lock).
+  obs::mem_unregister_pressure_callback(mem_cb_id_);
+}
+
+void page_cache::sync_frame_mem_locked(frame& f) noexcept {
+  const std::size_t cap = f.data.capacity();
+  if (cap == f.mem_charged) return;
+  frames_mem_charged_ += cap;
+  frames_mem_charged_ -= f.mem_charged;
+  f.mem_charged = cap;
+  frames_mem_.set(frames_mem_charged_);
+}
+
+void page_cache::on_mem_pressure(obs::mem_pressure_level level) {
+  std::size_t freed = 0;
+  {
+    const std::scoped_lock lock(mu_);
+    if (level == obs::mem_pressure_level::ok) {
+      frame_limit_ = cfg_.num_frames;
+      return;
+    }
+    const std::size_t floor_frames = std::min<std::size_t>(4, cfg_.num_frames);
+    frame_limit_ = std::max(floor_frames, frame_limit_ / 2);
+    if (clock_hand_ >= frame_limit_) clock_hand_ = 0;
+    // Free the backing of clean, unpinned frames beyond the new bound so
+    // the bytes actually leave (observable in the cache_frames ledger).
+    // Pinned, dirty or loading frames stay — best effort, retried on the
+    // next transition.
+    for (std::size_t i = frame_limit_; i < frames_.size(); ++i) {
+      frame& f = frames_[i];
+      if (f.pins > 0 || f.loading || f.dirty) continue;
+      if (f.page_id != kNoPage) {
+        page_to_frame_.erase(f.page_id);
+        f.page_id = kNoPage;
+      }
+      f.referenced = false;
+      if (f.data.capacity() == 0) continue;
+      f.data.clear();
+      f.data.shrink_to_fit();
+      sync_frame_mem_locked(f);
+      ++freed;
+    }
+  }
+  cv_.notify_all();
+  obs::trace_instant("cache.mem_shrink", "storage", "freed",
+                     static_cast<double>(freed));
+  if (obs::metrics_on() || obs::ts_on()) {
+    obs::metrics_registry::instance()
+        .get_counter("mem.pressure_cache_shrinks")
+        .add_raw(1);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -101,10 +163,14 @@ std::span<std::byte> page_cache::page_ref::mutable_data() {
 
 std::size_t page_cache::find_victim_locked() {
   // CLOCK / second chance: two sweeps are enough — the first clears
-  // reference bits, the second must find any unpinned frame.
-  for (std::size_t scanned = 0; scanned < 2 * frames_.size(); ++scanned) {
+  // reference bits, the second must find any unpinned frame.  The hand
+  // walks only the effective pool [0, frame_limit_): under memory
+  // pressure misses stop re-populating the shrunk tail.
+  const std::size_t limit = frame_limit_;
+  if (clock_hand_ >= limit) clock_hand_ = 0;
+  for (std::size_t scanned = 0; scanned < 2 * limit; ++scanned) {
     const std::size_t idx = clock_hand_;
-    clock_hand_ = (clock_hand_ + 1) % frames_.size();
+    clock_hand_ = (clock_hand_ + 1) % limit;
     frame& f = frames_[idx];
     if (f.pins > 0 || f.loading) continue;
     if (f.referenced) {
@@ -113,7 +179,7 @@ std::size_t page_cache::find_victim_locked() {
     }
     return idx;
   }
-  return frames_.size();  // everything pinned or loading
+  return frames_.size();  // everything in the effective pool pinned/loading
 }
 
 void page_cache::fault_evict_locked() {
@@ -252,6 +318,7 @@ page_cache::page_ref page_cache::get(std::uint64_t page_id,
     f.dirty = false;
     ++f.touches;
     f.data.assign(cfg_.page_size, std::byte{0});
+    sync_frame_mem_locked(f);
     page_to_frame_[page_id] = v;
     ++stats_.misses;
     stats_.dev_bytes_read += cfg_.page_size;

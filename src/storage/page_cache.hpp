@@ -23,6 +23,7 @@
 
 #include "obs/histogram.hpp"
 #include "obs/json.hpp"
+#include "obs/mem.hpp"
 #include "obs/metrics.hpp"
 #include "obs/stats_fields.hpp"
 #include "storage/block_device.hpp"
@@ -55,6 +56,7 @@ class page_cache {
   };
 
   page_cache(block_device& dev, config cfg);
+  ~page_cache();
 
   page_cache(const page_cache&) = delete;
   page_cache& operator=(const page_cache&) = delete;
@@ -167,6 +169,10 @@ class page_cache {
     bool referenced = false;  ///< CLOCK reference bit
     std::uint64_t touches = 0;  ///< hits + claims; heat_json() ranks by this
     std::vector<std::byte> data;
+    /// Backing capacity currently charged to the memory ledger
+    /// (mem_subsystem::cache_frames); synced when `data` grows on a miss
+    /// fill or is freed by a pressure shrink.
+    std::size_t mem_charged = 0;
   };
 
   /// One slot of the sampled reuse-distance estimator (see
@@ -194,6 +200,16 @@ class page_cache {
   /// the lock.
   std::chrono::nanoseconds draw_io_delay_locked();
 
+  /// Re-sync one frame's backing capacity into the memory ledger (caller
+  /// holds the lock).  Unchanged capacity: one compare.
+  void sync_frame_mem_locked(frame& f) noexcept;
+
+  /// Memory-pressure reaction (dispatched from obs::mem_pressure_poll,
+  /// never from inside a charge): soft/hard halves the effective frame
+  /// bound and frees clean unpinned frames beyond it; ok restores the
+  /// configured pool size.
+  void on_mem_pressure(obs::mem_pressure_level level);
+
   block_device* dev_;
   config cfg_;
 
@@ -202,6 +218,14 @@ class page_cache {
   std::vector<frame> frames_;
   std::unordered_map<std::uint64_t, std::size_t> page_to_frame_;
   std::size_t clock_hand_ = 0;
+  /// Effective frame bound: misses only claim frames below this index.
+  /// Equal to cfg_.num_frames except while a memory budget is under
+  /// pressure (on_mem_pressure halves it, floor 4 or the pool size).
+  std::size_t frame_limit_ = 0;
+  /// Sum of per-frame mem_charged (O(1) ledger syncs).
+  std::uint64_t frames_mem_charged_ = 0;
+  obs::mem_tracker frames_mem_{obs::mem_subsystem::cache_frames};
+  int mem_cb_id_ = 0;  ///< pressure-callback registration (0 = none)
   cache_stats stats_;
   std::array<reuse_slot, 256> reuse_{};  // guarded by mu_
   bool faults_on_ = false;

@@ -27,6 +27,7 @@
 #include "gen/generators.hpp"
 #include "graph/distributed_graph.hpp"
 #include "mailbox/routed_mailbox.hpp"
+#include "obs/mem.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
@@ -433,6 +434,76 @@ TEST(Chaos, TimeSeriesSurvivesFaults) {
   obs::set_ts_interval_ms(saved_interval);
   std::error_code ec;
   fs::remove_all(dir, ec);
+}
+
+TEST(Chaos, MemAccountingBalancesUnderFaults) {
+  // Conservation law of the memory ledger (DESIGN.md §15): every charge a
+  // subsystem takes during a faulty traversal must be released by the
+  // time its owner is destroyed — duplicated / delayed / reordered
+  // packets included.  A leak would strand a nonzero current after the
+  // sweep; a double-release would need the saturating clamp and show up
+  // as peak < the bytes we know were held.  The sweep runs the full
+  // 32-seed BFS fault schedule, so mailbox arenas, queue buckets, and
+  // frontier words all see adversarial traffic while charging.
+  const bool saved_mem = obs::detail::toggles().mem.load();
+  obs::set_mem_enabled(true);
+  obs::mem_clear();
+
+  // Baseline per (rank, subsystem): long-lived obs rings owned by the
+  // harness may legitimately stay charged across the sweep.
+  constexpr int kRanks = 4;
+  std::uint64_t baseline[kRanks + 1][obs::kMemSubsystems];
+  for (int r = -1; r < kRanks; ++r) {
+    for (std::size_t s = 0; s < obs::kMemSubsystems; ++s) {
+      baseline[r + 1][s] =
+          obs::mem_current(static_cast<obs::mem_subsystem>(s), r);
+    }
+  }
+
+  const auto rc = small_rmat(1);
+  const auto edges = gen::rmat_slice(rc, 0, rc.num_edges());
+  const auto ref = reference::serial_graph::from_edges(edges);
+  const auto expected = reference::serial_bfs(ref, edges.front().src);
+
+  run_sweep({.ranks = kRanks, .num_seeds = 32, .base_seed = 0x3E3B41},
+            [&](comm& c, const schedule& s) {
+              auto mine = slice_edges(edges, c.rank(), c.size());
+              auto g = build_in_memory_graph(c, mine, {.num_ghosts = 32});
+              auto result =
+                  core::run_bfs(g, g.locate(edges.front().src), s.queue);
+              const auto levels = gather_global(c, g, [&](std::size_t slot) {
+                return result.state.local(slot).level;
+              });
+              for (const auto& [gid, level] : levels) {
+                ASSERT_EQ(level, expected[gid]) << "vertex " << gid;
+              }
+            });
+
+  // Traversal machinery is gone: every subsystem must be back at its
+  // baseline on every rank slot, and peaks must dominate currents.  The
+  // obs subsystem is exempt from the balance law: flight/span rings are
+  // deliberately process-lifetime (the black box must outlive the run),
+  // so the sweep's lazily-created per-rank rings stay charged.
+  std::uint64_t total_peak = 0;
+  for (int r = -1; r < kRanks; ++r) {
+    for (std::size_t sub = 0; sub < obs::kMemSubsystems; ++sub) {
+      const auto s = static_cast<obs::mem_subsystem>(sub);
+      if (s != obs::mem_subsystem::obs) {
+        EXPECT_EQ(obs::mem_current(s, r), baseline[r + 1][sub])
+            << "rank " << r << " subsystem " << obs::mem_subsystem_name(s)
+            << " leaked";
+      }
+      EXPECT_GE(obs::mem_peak(s, r), obs::mem_current(s, r))
+          << "rank " << r << " subsystem " << obs::mem_subsystem_name(s);
+      total_peak += obs::mem_peak(s, r);
+    }
+  }
+  // ...and the sweep actually charged something: a BFS that moved real
+  // traffic cannot have left every watermark at zero.
+  EXPECT_GT(total_peak, 0u);
+
+  obs::mem_clear();
+  obs::set_mem_enabled(saved_mem);
 }
 
 TEST(Chaos, TrafficMatrixConservesRecordsUnderFaults) {

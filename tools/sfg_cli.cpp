@@ -99,7 +99,7 @@ struct arg_spec {
 /// user input.
 const std::set<std::string> kU64Options = {
     "scale", "seed", "ranks", "source", "ghosts",
-    "k",     "approx", "em-frames", "em-page"};
+    "k",     "approx", "em-frames", "em-page", "mem-budget"};
 const std::set<std::string> kF64Options = {"rewire", "hdrf-lambda", "eps"};
 
 bool parses_as_u64(const std::string& s) {
@@ -207,7 +207,10 @@ int usage() {
          "                       per-rank block device behind the page\n"
          "                       cache (reports I/O attribution)\n"
          "  --em-frames N        page-cache frames per rank (default 64)\n"
-         "  --em-page B          page size in bytes (default 512)\n";
+         "  --em-page B          page size in bytes (default 512)\n"
+         "  --mem-budget BYTES   soft memory budget: arms the pressure\n"
+         "                       ladder and per-subsystem attribution\n"
+         "                       (mirrors SFG_MEM_BUDGET)\n";
   return 2;
 }
 
@@ -325,6 +328,10 @@ int with_graph(const args_map& a, const char* command, std::uint32_t ghosts,
   const bool em = a.flag("em");
   const auto em_frames = static_cast<std::size_t>(a.opt_u64("em-frames", 64));
   const auto em_page = static_cast<std::size_t>(a.opt_u64("em-page", 512));
+  if (a.options.contains("mem-budget")) {
+    // Mirrors SFG_MEM_BUDGET: a nonzero budget also turns attribution on.
+    sfg::obs::set_mem_budget(a.opt_u64("mem-budget", 0));
+  }
   const obs_opts obs(a);
   int rc = 0;
   sfg::obs::json cache_heat;
@@ -518,7 +525,7 @@ int main(int argc, char** argv) {
   // Every algorithm command shares the placement + observability +
   // external-memory surface; each adds its own knobs on top.
   arg_spec spec{{"ranks", "partitioner", "hdrf-lambda", "json-report",
-                 "trace", "em-frames", "em-page"},
+                 "trace", "em-frames", "em-page", "mem-budget"},
                 {"em"}};
   if (cmd == "generate") {
     spec = {{"model", "scale", "rewire", "seed", "out"}, {"text"}};

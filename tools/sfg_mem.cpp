@@ -1,0 +1,399 @@
+/// \file sfg_mem.cpp
+/// Terminal memory-attribution view — the DRAM-side sibling of sfg_top
+/// and sfg_heat.  Two sources:
+///
+///   Report mode (--report FILE): an sfg-metrics/1 report whose traversal
+///   entries carry sfg-mem/1 sections (SFG_MEM / SFG_MEM_BUDGET +
+///   SFG_METRICS).  Renders, for the last traversal with a section:
+///     - one stacked bar per rank: each charged subsystem's share of the
+///       rank's accounted bytes, with a peak watermark ('|') where the
+///       rank's accounted peak sits relative to the widest rank
+///     - a per-subsystem legend with current / peak bytes summed over
+///       ranks, sorted by peak
+///     - the ground-truth line: accounted peak vs sampled RSS growth
+///       (the coverage ratio), max-RSS, and the budget if one was armed
+///     - the pressure block: current ladder level and how many ok->soft,
+///       soft->hard, ->ok transitions fired
+///
+///   Live mode (--dir DIR): tails the per-rank sfg-timeseries/1 JSONL
+///   streams (SFG_TS_DIR) and renders each rank's freshest accounted
+///   bytes against its sampled RSS — enough to watch a budget bite in
+///   real time; re-run with SFG_METRICS for the per-subsystem split.
+///
+///   sfg_mem [--report FILE] [--dir DIR] [--interval MS] [--once]
+///
+///     --once   render one snapshot and exit: 0 if something valid was
+///              rendered, 1 on a missing/empty/invalid source (CI gate)
+///
+/// Precedence: --report wins when both are given; with neither, live mode
+/// on $SFG_TS_DIR (else ".").
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/mem.hpp"
+
+namespace {
+
+using sfg::obs::json;
+
+/// One fill glyph per subsystem, in enum order — the bar is a legend key.
+constexpr char kFill[] = {'M', 'C', 'Q', 'F', 'B', 'P', 'o', '.'};
+static_assert(sizeof(kFill) == sfg::obs::kMemSubsystems);
+
+bool has_key(const json& obj, std::string_view key) {
+  return obj.is_object() && obj.find(key) != nullptr;
+}
+
+double num_or(const json& obj, const char* key, double fallback) {
+  const json* v = obj.find(key);
+  return (v != nullptr && v->is_number()) ? v->as_double() : fallback;
+}
+
+std::string human_bytes(double v) {
+  char buf[32];
+  if (v >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2fGB", v / 1e9);
+  } else if (v >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2fMB", v / 1e6);
+  } else if (v >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.1fkB", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0fB", v);
+  }
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+// Report mode
+// ---------------------------------------------------------------------------
+
+struct rank_mem {
+  std::uint64_t rank = 0;
+  double current[sfg::obs::kMemSubsystems] = {};
+  double peak[sfg::obs::kMemSubsystems] = {};
+  double accounted_current = 0;
+  double accounted_peak = 0;
+};
+
+void render_rows(const std::vector<rank_mem>& rows) {
+  constexpr int kBarWidth = 48;
+  double scale_max = 0;
+  for (const auto& r : rows) {
+    scale_max = std::max(scale_max, std::max(r.accounted_current,
+                                             r.accounted_peak));
+  }
+  std::printf("per-rank accounted bytes (bar = current by subsystem, '|' = "
+              "peak watermark, scale %s)\n",
+              human_bytes(scale_max).c_str());
+  for (const auto& r : rows) {
+    char bar[kBarWidth + 1];
+    for (int i = 0; i < kBarWidth; ++i) bar[i] = ' ';
+    bar[kBarWidth] = '\0';
+    if (scale_max > 0) {
+      // Stack the subsystems left to right; every nonzero share gets at
+      // least one cell so small-but-present charges stay visible.
+      int pos = 0;
+      for (std::size_t s = 0; s < sfg::obs::kMemSubsystems; ++s) {
+        if (r.current[s] <= 0) continue;
+        int cells = static_cast<int>(r.current[s] / scale_max * kBarWidth);
+        cells = std::max(cells, 1);
+        for (int i = 0; i < cells && pos < kBarWidth; ++i) bar[pos++] = kFill[s];
+      }
+      const int mark = std::min(
+          kBarWidth - 1,
+          static_cast<int>(r.accounted_peak / scale_max * kBarWidth));
+      if (bar[mark] == ' ') bar[mark] = '|';
+    }
+    std::printf("  rank %3llu [%s] %9s cur / %9s peak\n",
+                static_cast<unsigned long long>(r.rank), bar,
+                human_bytes(r.accounted_current).c_str(),
+                human_bytes(r.accounted_peak).c_str());
+  }
+}
+
+void render_legend(const std::vector<rank_mem>& rows) {
+  struct line {
+    std::size_t s;
+    double current;
+    double peak;
+  };
+  std::vector<line> lines;
+  for (std::size_t s = 0; s < sfg::obs::kMemSubsystems; ++s) {
+    double cur = 0, pk = 0;
+    for (const auto& r : rows) {
+      cur += r.current[s];
+      pk += r.peak[s];
+    }
+    if (pk > 0) lines.push_back({s, cur, pk});
+  }
+  std::sort(lines.begin(), lines.end(),
+            [](const line& a, const line& b) { return a.peak > b.peak; });
+  if (lines.empty()) {
+    std::printf("subsystems: nothing charged (all-zero ledger)\n");
+    return;
+  }
+  std::printf("subsystems (all ranks, sorted by peak):\n");
+  for (const auto& l : lines) {
+    std::printf("  %c %-18s %9s cur / %9s peak\n", kFill[l.s],
+                sfg::obs::mem_subsystem_name(
+                    static_cast<sfg::obs::mem_subsystem>(l.s)),
+                human_bytes(l.current).c_str(), human_bytes(l.peak).c_str());
+  }
+}
+
+/// Returns true if something valid was rendered.
+bool render_report(const std::string& file) {
+  std::ifstream in(file);
+  if (!in) {
+    std::cerr << "sfg_mem: cannot open " << file << "\n";
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const auto doc = json::parse(ss.str());
+  if (!doc || !doc->is_object()) {
+    std::cerr << "sfg_mem: " << file << " is not valid JSON\n";
+    return false;
+  }
+  if (!has_key(*doc, "schema") ||
+      !(*doc->find("schema") == json("sfg-metrics/1"))) {
+    std::cerr << "sfg_mem: " << file << " is not an sfg-metrics/1 report\n";
+    return false;
+  }
+  const json* traversals = doc->find("traversals");
+  if (traversals == nullptr || !traversals->is_array() ||
+      traversals->size() == 0) {
+    std::cerr << "sfg_mem: " << file << " has no traversals\n";
+    return false;
+  }
+  // Last traversal with a section: the freshest cumulative snapshot.
+  const json* mem = nullptr;
+  std::size_t which = 0;
+  for (std::size_t i = 0; i < traversals->size(); ++i) {
+    if (const json* m = traversals->at(i).find("mem");
+        m != nullptr && m->is_object()) {
+      mem = m;
+      which = i;
+    }
+  }
+  if (mem == nullptr) {
+    std::cerr << "sfg_mem: " << file
+              << " has no mem section (set SFG_MEM or SFG_MEM_BUDGET "
+                 "alongside SFG_METRICS)\n";
+    return false;
+  }
+  std::vector<std::string> errors;
+  if (!sfg::obs::mem_validate(*mem, &errors)) {
+    std::cerr << "sfg_mem: " << file << " mem section is invalid\n";
+    for (const std::string& e : errors) std::cerr << "  " << e << "\n";
+    return false;
+  }
+  const json& jrows = *mem->find("rows");
+  std::vector<rank_mem> rows;
+  for (std::size_t r = 0; r < jrows.size(); ++r) {
+    const json& row = jrows.at(r);
+    rank_mem rm;
+    rm.rank = static_cast<std::uint64_t>(num_or(row, "rank", 0));
+    rm.accounted_current = num_or(row, "accounted_current", 0);
+    rm.accounted_peak = num_or(row, "accounted_peak", 0);
+    const json& subs = *row.find("subsystems");
+    for (std::size_t s = 0; s < sfg::obs::kMemSubsystems; ++s) {
+      const json* sub = subs.find(sfg::obs::mem_subsystem_name(
+          static_cast<sfg::obs::mem_subsystem>(s)));
+      rm.current[s] = num_or(*sub, "current", 0);
+      rm.peak[s] = num_or(*sub, "peak", 0);
+    }
+    rows.push_back(rm);
+  }
+
+  std::printf("sfg_mem — %s, traversal %zu of %zu, %zu rank(s)\n",
+              file.c_str(), which + 1, traversals->size(), rows.size());
+  render_rows(rows);
+  render_legend(rows);
+
+  const double budget = num_or(*mem, "budget", 0);
+  const double accounted_peak = num_or(*mem, "accounted_peak", 0);
+  const double rss = num_or(*mem, "rss_bytes", 0);
+  const double max_rss = num_or(*mem, "max_rss_bytes", 0);
+  const double coverage = num_or(*mem, "coverage", 0);
+  std::printf("ground truth: accounted peak %s, rss %s, max-rss %s, "
+              "coverage %.0f%%",
+              human_bytes(accounted_peak).c_str(), human_bytes(rss).c_str(),
+              human_bytes(max_rss).c_str(), coverage * 100.0);
+  if (budget > 0) {
+    std::printf(", budget %s", human_bytes(budget).c_str());
+  } else {
+    std::printf(", no budget armed");
+  }
+  std::printf("\n");
+
+  const json* pressure = mem->find("pressure");
+  if (pressure != nullptr && pressure->is_object()) {
+    const json* level = pressure->find("level");
+    std::printf("pressure: level %s, %.0f ok->soft, %.0f ->hard, %.0f ->ok\n",
+                (level != nullptr && level->is_string())
+                    ? level->as_string().c_str()
+                    : "?",
+                num_or(*pressure, "to_soft", 0),
+                num_or(*pressure, "to_hard", 0),
+                num_or(*pressure, "to_ok", 0));
+  }
+  std::fflush(stdout);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Live mode (sfg-timeseries/1 streams)
+// ---------------------------------------------------------------------------
+
+struct live_row {
+  int rank = 0;
+  double accounted = 0;
+  double rss = 0;
+};
+
+std::optional<live_row> read_live_file(const std::filesystem::path& p,
+                                       int rank) {
+  std::ifstream in(p);
+  if (!in) return std::nullopt;
+  std::string line;
+  std::optional<json> last;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto parsed = json::parse(line);
+    if (parsed && parsed->is_object()) last = std::move(*parsed);
+  }
+  if (!last) return std::nullopt;
+  const json* schema = last->find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "sfg-timeseries/1") {
+    return std::nullopt;
+  }
+  live_row r;
+  r.rank = rank;
+  if (const json* g = last->find("gauges"); g != nullptr && g->is_object()) {
+    r.accounted = num_or(*g, "mem_accounted_bytes", 0);
+    r.rss = num_or(*g, "mem_rss_bytes", 0);
+  }
+  return r;
+}
+
+std::vector<live_row> collect_live(const std::string& dir) {
+  std::vector<live_row> rows;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    constexpr std::string_view prefix = "sfg_ts_rank";
+    constexpr std::string_view suffix = ".jsonl";
+    if (name.size() <= prefix.size() + suffix.size()) continue;
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0)
+      continue;
+    const std::string mid =
+        name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+    char* end = nullptr;
+    const long rank = std::strtol(mid.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') continue;
+    if (auto row = read_live_file(entry.path(), static_cast<int>(rank))) {
+      rows.push_back(*row);
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const live_row& a, const live_row& b) { return a.rank < b.rank; });
+  return rows;
+}
+
+void render_live(const std::vector<live_row>& rows, const std::string& dir,
+                 double budget) {
+  std::printf("sfg_mem (live) — %zu rank(s), dir %s", rows.size(),
+              dir.c_str());
+  if (budget > 0) std::printf(", budget %s", human_bytes(budget).c_str());
+  std::printf("\n");
+  for (const auto& r : rows) {
+    std::printf("  rank %3d  accounted %9s  rss %9s", r.rank,
+                human_bytes(r.accounted).c_str(), human_bytes(r.rss).c_str());
+    if (r.rss > 0) std::printf("  (%.0f%% covered)", 100.0 * r.accounted / r.rss);
+    if (budget > 0 && r.accounted >= budget) std::printf("  OVER BUDGET");
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+int usage() {
+  std::cerr << "usage: sfg_mem [--report FILE] [--dir DIR] [--interval MS] "
+               "[--once]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string report;
+  std::string dir;
+  if (const char* env = std::getenv("SFG_TS_DIR"); env != nullptr && *env) {
+    dir = env;
+  } else {
+    dir = ".";
+  }
+  double budget = 0;
+  if (const char* env = std::getenv("SFG_MEM_BUDGET");
+      env != nullptr && *env) {
+    budget = std::strtod(env, nullptr);
+  }
+  long interval_ms = 500;
+  bool once = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--once") {
+      once = true;
+    } else if (a == "--report" && i + 1 < argc) {
+      report = argv[++i];
+    } else if (a == "--dir" && i + 1 < argc) {
+      dir = argv[++i];
+    } else if (a == "--interval" && i + 1 < argc) {
+      interval_ms = std::strtol(argv[++i], nullptr, 10);
+      if (interval_ms <= 0) interval_ms = 500;
+    } else {
+      return usage();
+    }
+  }
+
+  if (!report.empty()) {
+    // A report is a finished artifact: render once regardless of --once.
+    return render_report(report) ? 0 : 1;
+  }
+
+  for (;;) {
+    const std::vector<live_row> rows = collect_live(dir);
+    if (once) {
+      if (rows.empty()) {
+        std::cerr << "sfg_mem: no sfg_ts_rank*.jsonl samples in " << dir
+                  << "\n";
+        return 1;
+      }
+      render_live(rows, dir, budget);
+      return 0;
+    }
+    std::printf("\033[2J\033[H");  // clear + home
+    if (rows.empty()) {
+      std::printf("sfg_mem: waiting for sfg_ts_rank*.jsonl in %s ...\n",
+                  dir.c_str());
+      std::fflush(stdout);
+    } else {
+      render_live(rows, dir, budget);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}

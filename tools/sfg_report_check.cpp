@@ -35,6 +35,12 @@
 ///             delegates to obs::critpath_validate — connected
 ///             start→finish segment chain, blame fractions summing to at
 ///             most 1.0 of the measured wall and covering >= 90% of it
+///   --mem     an sfg-metrics/1 report whose traversal entries carry
+///             sfg-mem/1 memory-attribution sections (from SFG_MEM /
+///             SFG_MEM_BUDGET): delegates to obs::mem_validate — one row
+///             per rank with all subsystems, peak >= current everywhere,
+///             per-row and section accounted totals summing exactly, a
+///             positive RSS sample, and a well-formed pressure block
 ///   --all     umbrella: sniff each file's schema and run every validator
 ///             that applies (metrics reports additionally get the
 ///             comm-matrix / bfs-levels / critpath checks for whichever
@@ -53,6 +59,7 @@
 
 #include "obs/critpath.hpp"
 #include "obs/json.hpp"
+#include "obs/mem.hpp"
 #include "obs/timeseries.hpp"
 
 namespace {
@@ -669,6 +676,47 @@ void check_critpath(const std::string& file) {
   }
 }
 
+/// One traversal's "mem" section: the shape rules live next to the
+/// producer (obs/mem.cpp, mem_validate), so the unit tests and this tool
+/// can never drift apart.
+void check_mem_entry(const std::string& file, const json& entry,
+                     std::size_t index) {
+  std::vector<std::string> errors;
+  if (!sfg::obs::mem_validate(*entry.find("mem"), &errors)) {
+    const std::string where = "traversals[" + std::to_string(index) + "].mem";
+    for (const std::string& e : errors) fail(file, where + ": " + e);
+    if (errors.empty()) fail(file, where + " is invalid");
+  }
+}
+
+/// --mem: an sfg-metrics/1 report where at least one traversal carries an
+/// sfg-mem/1 section, and every one present validates.
+void check_mem(const std::string& file) {
+  const auto doc = load(file);
+  if (!doc) return;
+  if (!has_key(*doc, "schema") ||
+      !(*doc->find("schema") == json("sfg-metrics/1"))) {
+    fail(file, "schema is not \"sfg-metrics/1\"");
+    return;
+  }
+  if (!has_key(*doc, "traversals") || !doc->find("traversals")->is_array()) {
+    fail(file, "missing array \"traversals\"");
+    return;
+  }
+  const json& traversals = *doc->find("traversals");
+  std::size_t with_mem = 0;
+  for (std::size_t i = 0; i < traversals.size(); ++i) {
+    const json& entry = traversals.at(i);
+    if (!has_key(entry, "mem")) continue;
+    ++with_mem;
+    check_mem_entry(file, entry, i);
+  }
+  if (with_mem == 0) {
+    fail(file, "no traversal carries a \"mem\" section (was SFG_MEM / "
+               "SFG_MEM_BUDGET set alongside SFG_METRICS?)");
+  }
+}
+
 void check_timeseries(const std::string& file) {
   // The line-level rules live next to the producer (obs/timeseries.cpp),
   // so the chaos test and this tool can never drift apart.
@@ -738,6 +786,9 @@ void check_all(const std::string& file) {
           if (errors.empty()) fail(file, where + " is invalid");
         }
       }
+      if (has_key(entry, "mem")) {
+        check_mem_entry(file, entry, i);
+      }
     }
   } else {
     fail(file, "unrecognized document (no known schema tag, traceEvents, or "
@@ -749,7 +800,7 @@ int usage() {
   std::cerr << "usage: sfg_report_check [--bench FILE]... [--report FILE]... "
                "[--trace FILE]... [--flight FILE]... [--timeseries FILE]... "
                "[--comm-matrix FILE]... [--bfs-levels FILE]... "
-               "[--critpath FILE]... [--all FILE]...\n";
+               "[--critpath FILE]... [--mem FILE]... [--all FILE]...\n";
   return 2;
 }
 
@@ -778,6 +829,8 @@ int main(int argc, char** argv) {
       check_bfs_levels(file);
     } else if (a == "--critpath") {
       check_critpath(file);
+    } else if (a == "--mem") {
+      check_mem(file);
     } else if (a == "--all") {
       check_all(file);
     } else {

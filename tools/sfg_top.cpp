@@ -66,8 +66,13 @@ struct rank_row {
   double req_byte_rate = 0;
   double dev_read_rate = 0;
   double dev_write_rate = 0;
+  // Memory attribution gauges (obs/mem.hpp): this rank's accounted bytes
+  // and its sampled RSS at the same instant.
+  double mem_accounted = 0;
+  double mem_rss = 0;
   std::uint64_t total_executed = 0;
   bool straggler = false;
+  bool over_budget = false;
 };
 
 constexpr const char* kPhaseKeys[8] = {"visit",     "scan", "mbox_pack",
@@ -108,6 +113,8 @@ std::optional<rank_row> read_rank_file(const std::filesystem::path& p,
     r.epoch = num_or(*g, "term_epoch", 0);
     r.executed = num_or(*g, "visitors_executed", 0);
     r.executed_rate = num_or(*g, "executed_rate", 0);
+    r.mem_accounted = num_or(*g, "mem_accounted_bytes", 0);
+    r.mem_rss = num_or(*g, "mem_rss_bytes", 0);
   }
   if (const json* ph = last->find("phase"); ph != nullptr && ph->is_object()) {
     for (int i = 0; i < 8; ++i) r.phase[i] = num_or(*ph, kPhaseKeys[i], 0);
@@ -181,6 +188,16 @@ void mark_stragglers(std::vector<rank_row>& rows) {
     const bool slow = med_rate > 0 && r.executed_rate < 0.5 * med_rate;
     r.straggler = deep || slow;
   }
+}
+
+/// Flag ranks whose accounted bytes sit at or over SFG_MEM_BUDGET (the
+/// same per-rank budget the pressure ladder is armed with).
+void mark_over_budget(std::vector<rank_row>& rows) {
+  const char* env = std::getenv("SFG_MEM_BUDGET");
+  if (env == nullptr || *env == '\0') return;
+  const double budget = std::strtod(env, nullptr);
+  if (budget <= 0) return;
+  for (auto& r : rows) r.over_budget = r.mem_accounted >= budget;
 }
 
 std::string phase_bar(const double frac[8], int width) {
@@ -260,16 +277,44 @@ void render(const std::vector<rank_row>& rows, const std::string& dir) {
       "data:     comm %sB/s | io req %sB/s dev-rd %sB/s dev-wr %sB/s%s\n",
       human_rate(comm_bytes).c_str(), human_rate(req_bytes).c_str(),
       human_rate(dev_read).c_str(), human_rate(dev_write).c_str(), amp_str);
+  // Memory line: per-rank accounted bytes are additive (one ledger per
+  // rank); RSS is per process, so take the max across samples.  A '!'
+  // after a rank below flags accounted bytes at or over SFG_MEM_BUDGET.
+  double mem_accounted = 0;
+  double mem_rss = 0;
+  for (const auto& r : rows) {
+    mem_accounted += r.mem_accounted;
+    mem_rss = std::max(mem_rss, r.mem_rss);
+  }
+  if (mem_accounted > 0 || mem_rss > 0) {
+    std::printf("mem:      accounted %sB rss %sB",
+                human_rate(mem_accounted).c_str(),
+                human_rate(mem_rss).c_str());
+    std::string over;
+    for (const auto& r : rows) {
+      if (!r.over_budget) continue;
+      if (!over.empty()) over += ", ";
+      over += std::to_string(r.rank);
+    }
+    if (!over.empty()) {
+      std::printf(" | OVER BUDGET (!): rank %s", over.c_str());
+    }
+    std::printf("\n");
+  }
   std::printf(
       "phase glyphs: V visit  S scan  K pack  F flush  P poll  T term  "
       "I io  . idle\n");
-  std::printf("%5s %9s %9s %6s %10s %9s  %-24s\n", "rank", "depth", "inflight",
-              "epoch", "executed", "exec/s", "phase");
+  std::printf("%5s %9s %9s %6s %10s %9s %8s  %-24s\n", "rank", "depth",
+              "inflight", "epoch", "executed", "exec/s", "mem", "phase");
   std::string stragglers;
   for (const auto& r : rows) {
-    std::printf("%4d%c %9.0f %9.0f %6.0f %10.0f %9s  %-24s\n", r.rank,
+    char mem_col[16];
+    std::snprintf(mem_col, sizeof mem_col, "%s%c",
+                  human_rate(r.mem_accounted).c_str(),
+                  r.over_budget ? '!' : ' ');
+    std::printf("%4d%c %9.0f %9.0f %6.0f %10.0f %9s %8s  %-24s\n", r.rank,
                 r.straggler ? '*' : ' ', r.queue_depth, r.inflight, r.epoch,
-                r.executed, human_rate(r.executed_rate).c_str(),
+                r.executed, human_rate(r.executed_rate).c_str(), mem_col,
                 phase_bar(r.phase, 24).c_str());
     if (r.straggler) {
       if (!stragglers.empty()) stragglers += ", ";
@@ -317,6 +362,7 @@ int main(int argc, char** argv) {
   for (;;) {
     std::vector<rank_row> rows = collect(dir);
     mark_stragglers(rows);
+    mark_over_budget(rows);
     if (once) {
       if (rows.empty()) {
         std::cerr << "sfg_top: no sfg_ts_rank*.jsonl samples in " << dir
